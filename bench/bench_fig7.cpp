@@ -1,0 +1,42 @@
+// Reproduces Fig. 7: Local Training Time in a Round (LTTR) and
+// Time-To-Accuracy (TTA) for FedDrop, AFD, FjORD, FedMP, and FedBIAD on the
+// four datasets of the paper's Fig. 7 panels. TTA uses the T-Mobile 5G link
+// model (110.6 Mbps down / 14.0 Mbps up) exactly as the paper does (§V-C).
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace fedbiad;
+  using namespace fedbiad::bench;
+
+  const std::vector<std::string> methods{"FedDrop", "AFD", "FjORD", "FedMP",
+                                         "FedBIAD"};
+  const std::vector<DatasetId> datasets{DatasetId::kMnist, DatasetId::kFmnist,
+                                        DatasetId::kWikiText2,
+                                        DatasetId::kReddit};
+
+  std::printf("=== Fig. 7: LTTR and TTA ===\n");
+  std::printf("(LTTR measured on this CPU; TTA = sum of simulated round "
+              "times until the target accuracy)\n\n");
+  for (const auto id : datasets) {
+    Workload w = make_workload(id);
+    w.sim.eval_every = 1;
+    std::printf("--- %s (target accuracy %.0f%%) ---\n", name_of(id),
+                100.0 * w.tta_target);
+    for (const auto& m : methods) {
+      const auto result = run_strategy(w, make_strategy(m, w));
+      const auto tta = result.time_to_accuracy(w.tta_target, w.topk_metric);
+      std::printf("%-11s %-9s LTTR=%9s  TTA=%12s  (best acc %.2f%%)\n",
+                  name_of(id), m.c_str(),
+                  netsim::format_seconds(result.mean_lttr_seconds()).c_str(),
+                  tta.has_value()
+                      ? netsim::format_seconds(*tta).c_str()
+                      : "not reached",
+                  100.0 * result.best_accuracy(w.topk_metric));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Substrate microbenchmarks (google-benchmark): tensor kernels, LSTM
+// forward/backward, mask application, compressors, and aggregation.
+// Not a paper artefact — used to track the simulator's own performance.
+#include <benchmark/benchmark.h>
+
+#include "compress/dgc.hpp"
+#include "compress/quantize.hpp"
+#include "core/drop_pattern.hpp"
+#include "fl/aggregate.hpp"
+#include "nn/lstm.hpp"
+#include "nn/mlp_model.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace fedbiad;
+
+void BM_MatmulXwt(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  tensor::Rng rng(1);
+  tensor::Matrix x(32, n), w(n, n), out;
+  x.fill_uniform(rng, -1, 1);
+  w.fill_uniform(rng, -1, 1);
+  for (auto _ : state) {
+    tensor::matmul_xwt(x, w, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32 *
+                          n * n);
+}
+BENCHMARK(BM_MatmulXwt)->Arg(128)->Arg(512);
+
+void BM_LstmForward(benchmark::State& state) {
+  const auto h = static_cast<std::size_t>(state.range(0));
+  nn::ParameterStore store;
+  nn::LstmLayer lstm(store, "l", h, h);
+  store.finalize();
+  tensor::Rng rng(2);
+  lstm.init(store, rng);
+  tensor::Matrix x(16 * 12, h);
+  x.fill_uniform(rng, -1, 1);
+  nn::LstmLayer::Cache cache;
+  for (auto _ : state) {
+    lstm.forward(store, x, 16, 12, cache);
+    benchmark::DoNotOptimize(cache.h.data());
+  }
+}
+BENCHMARK(BM_LstmForward)->Arg(64)->Arg(128);
+
+void BM_LstmBackward(benchmark::State& state) {
+  const auto h = static_cast<std::size_t>(state.range(0));
+  nn::ParameterStore store;
+  nn::LstmLayer lstm(store, "l", h, h);
+  store.finalize();
+  tensor::Rng rng(3);
+  lstm.init(store, rng);
+  tensor::Matrix x(16 * 12, h), g(16 * 12, h), gx;
+  x.fill_uniform(rng, -1, 1);
+  g.fill_uniform(rng, -1, 1);
+  nn::LstmLayer::Cache cache;
+  lstm.forward(store, x, 16, 12, cache);
+  for (auto _ : state) {
+    store.zero_grads();
+    lstm.backward(store, x, cache, g, gx);
+    benchmark::DoNotOptimize(gx.data());
+  }
+}
+BENCHMARK(BM_LstmBackward)->Arg(64);
+
+void BM_MaskApply(benchmark::State& state) {
+  nn::MlpModel model({.input = 784, .hidden = 256, .classes = 10});
+  tensor::Rng rng(4);
+  model.init_params(rng);
+  const auto pattern = core::DropPattern::sample(
+      model.store(), 0.5, core::eligible_all(), rng);
+  for (auto _ : state) {
+    pattern.apply_to_params(model.store());
+    benchmark::DoNotOptimize(model.store().params().data());
+  }
+}
+BENCHMARK(BM_MaskApply);
+
+void BM_DgcCompress(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  tensor::Rng rng(5);
+  std::vector<float> update(n);
+  for (auto& v : update) v = static_cast<float>(rng.normal(0, 1));
+  compress::DgcCompressor dgc({.sparsity = 0.001});
+  compress::CompressorState st;
+  for (auto _ : state) {
+    auto sparse = dgc.compress(update, {}, st);
+    benchmark::DoNotOptimize(sparse.values.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DgcCompress)->Arg(100000)->Arg(1000000);
+
+void BM_SignSgdCompress(benchmark::State& state) {
+  tensor::Rng rng(6);
+  std::vector<float> update(1000000);
+  for (auto& v : update) v = static_cast<float>(rng.normal(0, 1));
+  compress::SignSgdCompressor sgn;
+  compress::CompressorState st;
+  for (auto _ : state) {
+    auto sparse = sgn.compress(update, {}, st);
+    benchmark::DoNotOptimize(sparse.values.data());
+  }
+}
+BENCHMARK(BM_SignSgdCompress);
+
+void BM_Aggregate(benchmark::State& state) {
+  const std::size_t n = 500000;
+  const std::size_t clients = 10;
+  tensor::Rng rng(7);
+  std::vector<fl::ClientOutcome> outcomes(clients);
+  for (auto& o : outcomes) {
+    o.samples = 100;
+    o.values.resize(n);
+    o.present.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      o.values[i] = static_cast<float>(rng.normal(0, 1));
+      o.present[i] = rng.bernoulli(0.5) ? 1 : 0;
+    }
+  }
+  std::vector<float> global(n, 0.0F);
+  for (auto _ : state) {
+    fl::aggregate(global, outcomes,
+                  fl::AggregationRule::kPerCoordinateNormalized);
+    benchmark::DoNotOptimize(global.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * clients));
+}
+BENCHMARK(BM_Aggregate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

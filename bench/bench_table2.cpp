@@ -1,0 +1,38 @@
+// Reproduces Table II: sketched-compression comparison — FedPAQ, SignSGD,
+// STC, DGC, AFD+DGC, FjORD+DGC, FedBIAD+DGC on all five datasets
+// (paper §V-B, Fig. 5 composition).
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace fedbiad;
+  using namespace fedbiad::bench;
+
+  const std::vector<DatasetId> datasets{
+      DatasetId::kMnist, DatasetId::kFmnist, DatasetId::kPtb,
+      DatasetId::kWikiText2, DatasetId::kReddit};
+
+  std::printf("=== Table II: sketched compression methods ===\n");
+  std::printf("(positions cost 64 bits per transmitted parameter, per the "
+              "paper's fairness note)\n\n");
+  for (const auto id : datasets) {
+    const Workload w = make_workload(id);
+    std::printf("--- %s (rounds=%zu) ---\n", name_of(id), w.sim.rounds);
+
+    for (const std::string comp : {"FedPAQ", "SignSGD", "STC", "DGC"}) {
+      auto strategy = std::make_shared<compress::SketchedStrategy>(
+          make_compressor(comp));
+      const auto result = run_strategy(w, strategy);
+      print_table_row(w, comp, result);
+    }
+    for (const std::string inner : {"AFD", "FjORD", "FedBIAD"}) {
+      auto strategy = std::make_shared<compress::ComposedStrategy>(
+          make_strategy(inner, w), make_compressor("DGC"));
+      const auto result = run_strategy(w, strategy);
+      print_table_row(w, inner + "+DGC", result);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

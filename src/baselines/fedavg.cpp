@@ -1,0 +1,24 @@
+#include "baselines/fedavg.hpp"
+
+#include "baselines/local_train.hpp"
+#include "core/drop_pattern.hpp"
+#include "tensor/ops.hpp"
+
+namespace fedbiad::baselines {
+
+fl::ClientOutcome FedAvgStrategy::run_client(fl::ClientContext& ctx) {
+  const auto stats = train_rounds(ctx, nullptr);
+  nn::ParameterStore& store = ctx.model.store();
+  fl::ClientOutcome out;
+  out.samples = ctx.shard.size();
+  out.values.resize(store.size());
+  tensor::copy(store.params(), out.values);
+  out.present.assign(store.size(), 1);
+  out.is_update = false;
+  out.uplink_bytes = core::dense_model_bytes(store);
+  out.mean_loss = stats.mean_loss;
+  out.last_loss = stats.last_loss;
+  return out;
+}
+
+}  // namespace fedbiad::baselines

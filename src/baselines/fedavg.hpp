@@ -1,0 +1,15 @@
+// FedAvg (McMahan et al., AISTATS 2017): the uncompressed baseline — every
+// selected client uploads its full dense model after V local iterations.
+#pragma once
+
+#include "fl/strategy.hpp"
+
+namespace fedbiad::baselines {
+
+class FedAvgStrategy final : public fl::Strategy {
+ public:
+  [[nodiscard]] std::string name() const override { return "FedAvg"; }
+  fl::ClientOutcome run_client(fl::ClientContext& ctx) override;
+};
+
+}  // namespace fedbiad::baselines

@@ -1,0 +1,34 @@
+#include "baselines/feddrop.hpp"
+
+#include "baselines/local_train.hpp"
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace fedbiad::baselines {
+
+FedDropStrategy::FedDropStrategy(double dropout_rate)
+    : dropout_rate_(dropout_rate) {
+  FEDBIAD_CHECK(dropout_rate >= 0.0 && dropout_rate < 1.0,
+                "dropout rate must be in [0,1)");
+}
+
+fl::ClientOutcome FedDropStrategy::run_client(fl::ClientContext& ctx) {
+  nn::ParameterStore& store = ctx.model.store();
+  const auto pattern = core::DropPattern::sample(
+      store, dropout_rate_, core::eligible_fc_conv(), ctx.rng);
+  const auto stats = train_rounds(ctx, &pattern);
+
+  fl::ClientOutcome out;
+  out.samples = ctx.shard.size();
+  out.values.resize(store.size());
+  tensor::copy(store.params(), out.values);
+  out.present.assign(store.size(), 1);
+  pattern.mark_presence(store, out.present);
+  out.is_update = false;
+  out.uplink_bytes = pattern.upload_bytes(store);
+  out.mean_loss = stats.mean_loss;
+  out.last_loss = stats.last_loss;
+  return out;
+}
+
+}  // namespace fedbiad::baselines

@@ -1,0 +1,23 @@
+// FedDrop (Caldas et al., 2019 / Wen et al., 2022): random federated
+// dropout. Each client samples a random fixed pattern per round over fully
+// connected and convolutional layers only — the method "does not extend to
+// recurrent layers" (paper §V-A), so LSTM matrices are never dropped.
+#pragma once
+
+#include "core/drop_pattern.hpp"
+#include "fl/strategy.hpp"
+
+namespace fedbiad::baselines {
+
+class FedDropStrategy final : public fl::Strategy {
+ public:
+  explicit FedDropStrategy(double dropout_rate);
+
+  [[nodiscard]] std::string name() const override { return "FedDrop"; }
+  fl::ClientOutcome run_client(fl::ClientContext& ctx) override;
+
+ private:
+  double dropout_rate_;
+};
+
+}  // namespace fedbiad::baselines

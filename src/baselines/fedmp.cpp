@@ -1,0 +1,79 @@
+#include "baselines/fedmp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "baselines/local_train.hpp"
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace fedbiad::baselines {
+
+FedMpStrategy::FedMpStrategy(double prune_rate) : prune_rate_(prune_rate) {
+  FEDBIAD_CHECK(prune_rate >= 0.0 && prune_rate < 1.0,
+                "prune rate must be in [0,1)");
+}
+
+fl::ClientOutcome FedMpStrategy::run_client(fl::ClientContext& ctx) {
+  const auto stats = train_rounds(ctx, nullptr);
+  nn::ParameterStore& store = ctx.model.store();
+  const std::size_t n = store.size();
+
+  fl::ClientOutcome out;
+  out.samples = ctx.shard.size();
+  out.values.resize(n);
+  tensor::copy(store.params(), out.values);
+  out.present.assign(n, 1);
+  out.is_update = false;
+  out.mean_loss = stats.mean_loss;
+  out.last_loss = stats.last_loss;
+
+  // Global magnitude threshold over droppable groups (the prunable weights);
+  // non-droppable parameters are always transmitted.
+  std::vector<float> magnitudes;
+  magnitudes.reserve(n);
+  auto params = store.params();
+  for (const nn::RowGroup& g : store.groups()) {
+    if (!g.droppable) continue;
+    for (std::size_t i = g.offset; i < g.offset + g.size(); ++i) {
+      magnitudes.push_back(std::abs(params[i]));
+    }
+  }
+  std::size_t kept = 0;
+  std::size_t prunable = magnitudes.size();
+  if (prunable > 0 && prune_rate_ > 0.0) {
+    const auto cut = static_cast<std::size_t>(
+        std::llround(prune_rate_ * static_cast<double>(prunable)));
+    std::nth_element(magnitudes.begin(),
+                     magnitudes.begin() + static_cast<std::ptrdiff_t>(cut),
+                     magnitudes.end());
+    const float threshold = magnitudes[cut];
+    for (const nn::RowGroup& g : store.groups()) {
+      if (!g.droppable) continue;
+      for (std::size_t i = g.offset; i < g.offset + g.size(); ++i) {
+        if (std::abs(params[i]) < threshold) {
+          out.present[i] = 0;
+          out.values[i] = 0.0F;
+        } else {
+          ++kept;
+        }
+      }
+    }
+  } else {
+    kept = prunable;
+  }
+  std::size_t fixed = n - prunable;
+  // Wire size: kept values plus whichever position encoding is cheaper —
+  // 16-bit block-relative indices (good at high prune rates) or a dense
+  // 1-bit occupancy bitmap (good at low rates) — and fixed parameters dense.
+  const std::uint64_t value_bytes =
+      static_cast<std::uint64_t>(kept) * sizeof(float);
+  const std::uint64_t index_bytes = std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(kept) * 2, (prunable + 7) / 8);
+  out.uplink_bytes = value_bytes + index_bytes +
+                     static_cast<std::uint64_t>(fixed) * sizeof(float);
+  return out;
+}
+
+}  // namespace fedbiad::baselines

@@ -1,0 +1,24 @@
+// FedMP (Jiang et al., ICDE 2022): magnitude pruning — each client trains
+// densely, then prunes the p-fraction of weights with the lowest absolute
+// values before uploading ("without considering their effect on training
+// loss", paper §II). Pruning is unstructured, so kept weights need position
+// metadata: we encode 16-bit block-relative positions (see DESIGN.md §2 on
+// FedMP upload accounting).
+#pragma once
+
+#include "fl/strategy.hpp"
+
+namespace fedbiad::baselines {
+
+class FedMpStrategy final : public fl::Strategy {
+ public:
+  explicit FedMpStrategy(double prune_rate);
+
+  [[nodiscard]] std::string name() const override { return "FedMP"; }
+  fl::ClientOutcome run_client(fl::ClientContext& ctx) override;
+
+ private:
+  double prune_rate_;
+};
+
+}  // namespace fedbiad::baselines

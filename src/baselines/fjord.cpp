@@ -1,0 +1,33 @@
+#include "baselines/fjord.hpp"
+
+#include "baselines/local_train.hpp"
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace fedbiad::baselines {
+
+FjordStrategy::FjordStrategy(WidthPlan plan, double dropout_rate)
+    : plan_(std::move(plan)), ratio_(1.0 - dropout_rate) {
+  FEDBIAD_CHECK(ratio_ > 0.0 && ratio_ <= 1.0,
+                "dropout rate must leave a positive width");
+}
+
+fl::ClientOutcome FjordStrategy::run_client(fl::ClientContext& ctx) {
+  nn::ParameterStore& store = ctx.model.store();
+  std::vector<std::uint8_t> mask(store.size(), 1);
+  plan_.build_mask(store, ratio_, mask);
+  const auto stats = train_rounds_masked(ctx, mask);
+
+  fl::ClientOutcome out;
+  out.samples = ctx.shard.size();
+  out.values.resize(store.size());
+  tensor::copy(store.params(), out.values);
+  out.present = std::move(mask);
+  out.is_update = false;
+  out.uplink_bytes = plan_.submodel_bytes(store, ratio_);
+  out.mean_loss = stats.mean_loss;
+  out.last_loss = stats.last_loss;
+  return out;
+}
+
+}  // namespace fedbiad::baselines

@@ -1,0 +1,43 @@
+#include "baselines/heterofl.hpp"
+
+#include <algorithm>
+
+#include "baselines/local_train.hpp"
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace fedbiad::baselines {
+
+HeteroFlStrategy::HeteroFlStrategy(WidthPlan plan, std::vector<double> levels)
+    : plan_(std::move(plan)), levels_(std::move(levels)) {
+  FEDBIAD_CHECK(!levels_.empty(), "need at least one width level");
+  for (const double s : levels_) {
+    FEDBIAD_CHECK(s > 0.0 && s <= 1.0, "width levels must be in (0,1]");
+  }
+}
+
+std::vector<double> HeteroFlStrategy::default_levels(double dropout_rate) {
+  const double s = 1.0 - dropout_rate;
+  return {1.0, std::max(0.25, s), std::max(0.25, s / 2.0)};
+}
+
+fl::ClientOutcome HeteroFlStrategy::run_client(fl::ClientContext& ctx) {
+  nn::ParameterStore& store = ctx.model.store();
+  const double ratio = levels_[ctx.client_id % levels_.size()];
+  std::vector<std::uint8_t> mask(store.size(), 1);
+  plan_.build_mask(store, ratio, mask);
+  const auto stats = train_rounds_masked(ctx, mask);
+
+  fl::ClientOutcome out;
+  out.samples = ctx.shard.size();
+  out.values.resize(store.size());
+  tensor::copy(store.params(), out.values);
+  out.present = std::move(mask);
+  out.is_update = false;
+  out.uplink_bytes = plan_.submodel_bytes(store, ratio);
+  out.mean_loss = stats.mean_loss;
+  out.last_loss = stats.last_loss;
+  return out;
+}
+
+}  // namespace fedbiad::baselines

@@ -1,0 +1,136 @@
+#include "baselines/unit_mask.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fedbiad::baselines {
+
+namespace {
+
+std::size_t surviving_units(std::size_t units, double ratio) {
+  FEDBIAD_CHECK(ratio > 0.0 && ratio <= 1.0, "width ratio must be in (0,1]");
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(ratio * static_cast<double>(units))));
+}
+
+}  // namespace
+
+void WidthPlan::build_mask(const nn::ParameterStore& store, double ratio,
+                           std::span<std::uint8_t> present) const {
+  FEDBIAD_CHECK(present.size() == store.size(), "mask size mismatch");
+  for (const Rule& rule : rules_) {
+    const nn::RowGroup& grp = store.group(rule.group);
+    const std::size_t keep = surviving_units(rule.units, ratio);
+    switch (rule.axis) {
+      case Rule::Axis::kRows: {
+        FEDBIAD_CHECK(rule.blocks * rule.units == grp.rows,
+                      "row rule does not tile group " + grp.name);
+        for (std::size_t b = 0; b < rule.blocks; ++b) {
+          for (std::size_t u = keep; u < rule.units; ++u) {
+            const std::size_t begin =
+                grp.offset + (b * rule.units + u) * grp.row_len;
+            std::fill(present.begin() + static_cast<std::ptrdiff_t>(begin),
+                      present.begin() +
+                          static_cast<std::ptrdiff_t>(begin + grp.row_len),
+                      std::uint8_t{0});
+          }
+        }
+        break;
+      }
+      case Rule::Axis::kCols: {
+        FEDBIAD_CHECK(rule.units <= grp.row_len,
+                      "column rule exceeds row length of " + grp.name);
+        for (std::size_t r = 0; r < grp.rows; ++r) {
+          const std::size_t begin = grp.offset + r * grp.row_len;
+          for (std::size_t u = keep; u < rule.units; ++u) {
+            present[begin + u] = 0;
+          }
+        }
+        break;
+      }
+      case Rule::Axis::kLstmWhCols: {
+        const std::size_t base = 4 * (rule.in_dim + 1);
+        FEDBIAD_CHECK(base + 4 * rule.hidden == grp.row_len,
+                      "Wh column rule does not match row layout of " +
+                          grp.name);
+        for (std::size_t r = 0; r < grp.rows; ++r) {
+          const std::size_t begin = grp.offset + r * grp.row_len;
+          for (std::size_t gate = 0; gate < 4; ++gate) {
+            for (std::size_t u = keep; u < rule.units; ++u) {
+              present[begin + base + gate * rule.hidden + u] = 0;
+            }
+          }
+        }
+        break;
+      }
+      case Rule::Axis::kLstmWxCols: {
+        FEDBIAD_CHECK(rule.units <= rule.in_dim,
+                      "Wx column rule exceeds input width of " + grp.name);
+        for (std::size_t r = 0; r < grp.rows; ++r) {
+          const std::size_t begin = grp.offset + r * grp.row_len;
+          for (std::size_t gate = 0; gate < 4; ++gate) {
+            for (std::size_t u = keep; u < rule.units; ++u) {
+              present[begin + gate * (rule.in_dim + 1) + u] = 0;
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+std::uint64_t WidthPlan::submodel_bytes(const nn::ParameterStore& store,
+                                        double ratio) const {
+  std::vector<std::uint8_t> present(store.size(), 1);
+  build_mask(store, ratio, present);
+  const auto kept = static_cast<std::uint64_t>(
+      std::count(present.begin(), present.end(), std::uint8_t{1}));
+  return kept * sizeof(float) + 8;  // structure implicit: just the ratio
+}
+
+WidthPlan WidthPlan::for_mlp(const nn::MlpModel& model) {
+  const std::size_t hidden = model.config().hidden;
+  std::vector<Rule> rules;
+  rules.push_back({.group = model.fc1_group(),
+                   .axis = Rule::Axis::kRows,
+                   .units = hidden});
+  rules.push_back({.group = model.fc2_group(),
+                   .axis = Rule::Axis::kCols,
+                   .units = hidden});
+  return WidthPlan(std::move(rules));
+}
+
+WidthPlan WidthPlan::for_lstm_lm(const nn::LstmLmModel& model) {
+  const std::size_t hidden = model.config().hidden;
+  const std::size_t layers = model.config().layers;
+  std::vector<Rule> rules;
+  for (std::size_t l = 0; l < layers; ++l) {
+    const std::size_t in = l == 0 ? model.config().embed : hidden;
+    rules.push_back({.group = model.unit_group(l),
+                     .axis = Rule::Axis::kRows,
+                     .units = hidden});
+    rules.push_back({.group = model.unit_group(l),
+                     .axis = Rule::Axis::kLstmWhCols,
+                     .units = hidden,
+                     .in_dim = in,
+                     .hidden = hidden});
+    if (l > 0) {
+      // Deeper layers read the narrowed hidden state of the layer below.
+      rules.push_back({.group = model.unit_group(l),
+                       .axis = Rule::Axis::kLstmWxCols,
+                       .units = hidden,
+                       .in_dim = in,
+                       .hidden = hidden});
+    }
+  }
+  rules.push_back({.group = model.out_group(),
+                   .axis = Rule::Axis::kCols,
+                   .units = hidden});
+  return WidthPlan(std::move(rules));
+}
+
+}  // namespace fedbiad::baselines

@@ -1,0 +1,75 @@
+#include "bayes/theory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fedbiad::bayes {
+
+std::size_t min_client_data(std::size_t round, std::size_t local_iterations,
+                            std::size_t min_client_samples) {
+  return round * local_iterations * min_client_samples;
+}
+
+double posterior_variance(const ModelStructure& s, std::size_t m) {
+  FEDBIAD_CHECK(s.sparsity > 0 && s.layers > 0 && s.width > 1 && s.input > 0,
+                "invalid model structure");
+  FEDBIAD_CHECK(s.weight_bound >= 2.0, "Assumption 2 requires B >= 2");
+  FEDBIAD_CHECK(m > 0, "need at least one sample");
+  const double S = static_cast<double>(s.sparsity);
+  const double L = static_cast<double>(s.layers);
+  const double D = static_cast<double>(s.width);
+  const double d = static_cast<double>(s.input);
+  const double B = s.weight_bound;
+  const double BD = B * D;
+  // eq. 13:  s̃² = S / (16 m d²) · log(3D)^{-1} · (2BD)^{-2L}
+  //          · [ (d+1+1/(BD-1))² + 1/((BD)²-1) + 2/(BD-1)² ]^{-1}
+  const double lead = S / (16.0 * static_cast<double>(m) * d * d);
+  const double log_term = 1.0 / std::log(3.0 * D);
+  const double decay = std::pow(2.0 * BD, -2.0 * L);
+  const double t1 = d + 1.0 + 1.0 / (BD - 1.0);
+  const double bracket =
+      t1 * t1 + 1.0 / (BD * BD - 1.0) + 2.0 / ((BD - 1.0) * (BD - 1.0));
+  return lead * log_term * decay / bracket;
+}
+
+double epsilon_bound(const ModelStructure& s, std::size_t m_r) {
+  FEDBIAD_CHECK(m_r > 0, "need at least one sample");
+  const double S = static_cast<double>(s.sparsity);
+  const double L = static_cast<double>(s.layers);
+  const double D = static_cast<double>(s.width);
+  const double d = static_cast<double>(s.input);
+  const double B = s.weight_bound;
+  const double m = static_cast<double>(m_r);
+  // eq. 15: ε = SL/m·log(2BD) + 3S/m·log(LD) + SB²/(2m)
+  //             + 2S/m·log(4d·max(m/S, 1)).
+  return S * L / m * std::log(2.0 * B * D) + 3.0 * S / m * std::log(L * D) +
+         S * B * B / (2.0 * m) +
+         2.0 * S / m * std::log(4.0 * d * std::max(m / S, 1.0));
+}
+
+double generalization_bound(double alpha, double sigma2, double epsilon,
+                            double xi_mean) {
+  FEDBIAD_CHECK(alpha > 0.0 && alpha < 1.0, "tempering must be in (0,1)");
+  FEDBIAD_CHECK(sigma2 > 0.0, "likelihood variance must be positive");
+  // eq. 14: 2σ²/(α(1-α)) · (1 + α/σ²) · ε + 2/(1-α) · ξ̄.
+  return 2.0 * sigma2 / (alpha * (1.0 - alpha)) * (1.0 + alpha / sigma2) *
+             epsilon +
+         2.0 / (1.0 - alpha) * xi_mean;
+}
+
+double minimax_rate(std::size_t m_r, double gamma, std::size_t input_dim) {
+  FEDBIAD_CHECK(m_r > 0 && gamma > 0.0 && input_dim > 0,
+                "invalid minimax-rate arguments");
+  const double d = static_cast<double>(input_dim);
+  return std::pow(static_cast<double>(m_r), -2.0 * gamma / (2.0 * gamma + d));
+}
+
+double holder_upper_bound(std::size_t m_r, double gamma,
+                          std::size_t input_dim, double c1) {
+  const double lg = std::log(static_cast<double>(m_r));
+  return c1 * minimax_rate(m_r, gamma, input_dim) * lg * lg;
+}
+
+}  // namespace fedbiad::bayes

@@ -1,0 +1,50 @@
+// Closed-form quantities from the paper's convergence analysis (§IV-F).
+//
+// These are the constants and bounds of Theorem 1: the optimal posterior
+// variance (eq. 13), the epsilon term of the generalization bound (eq. 15),
+// the bound itself (eq. 14), and the minimax-rate comparison (eqs. 17/18).
+// The benches use them to report the theoretical error-bound decay next to
+// the measured accuracy curves; the tests check their monotonicity and
+// scaling properties.
+#pragma once
+
+#include <cstddef>
+
+namespace fedbiad::bayes {
+
+/// Global model structure (S, L, D) with input dimension d and weight bound
+/// B (Assumption 2; B >= 2).
+struct ModelStructure {
+  std::size_t sparsity = 0;  ///< S: number of nonzero weights
+  std::size_t layers = 0;    ///< L
+  std::size_t width = 0;     ///< D: hidden-layer width
+  std::size_t input = 0;     ///< d: input dimension (d <= D)
+  double weight_bound = 2.0; ///< B
+};
+
+/// Minimum client-side total input data after `round` rounds (paper):
+/// m_r = r * V * min_k |D_k|.
+std::size_t min_client_data(std::size_t round, std::size_t local_iterations,
+                            std::size_t min_client_samples);
+
+/// Optimal constant posterior variance s̃² (eq. 13).
+double posterior_variance(const ModelStructure& s, std::size_t m);
+
+/// ε^{S,L,D}_{m_r} (eq. 15).
+double epsilon_bound(const ModelStructure& s, std::size_t m_r);
+
+/// Right-hand side of eq. 14 given the tempering α ∈ (0,1), likelihood
+/// variance σ², ε from eq. 15, and the mean approximation error
+/// ξ̄ = (1/K) Σ_k ξ_k (eq. 16; zero when the true functions are realizable).
+double generalization_bound(double alpha, double sigma2, double epsilon,
+                            double xi_mean);
+
+/// Minimax rate m^(-2γ/(2γ+d)) (lower bound eq. 18, up to a constant).
+double minimax_rate(std::size_t m_r, double gamma, std::size_t input_dim);
+
+/// Upper bound for γ-Hölder-smooth true functions (eq. 17, constant C1):
+/// C1 * m^(-2γ/(2γ+d)) * log²(m).
+double holder_upper_bound(std::size_t m_r, double gamma,
+                          std::size_t input_dim, double c1);
+
+}  // namespace fedbiad::bayes

@@ -1,0 +1,44 @@
+// Lightweight precondition / invariant checking for the fedbiad library.
+//
+// FEDBIAD_CHECK is always on and throws; use it at API boundaries.
+// FEDBIAD_DCHECK compiles away in NDEBUG builds; use it in hot loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fedbiad {
+
+/// Thrown when a FEDBIAD_CHECK precondition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace fedbiad
+
+#define FEDBIAD_CHECK(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::fedbiad::detail::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#ifdef NDEBUG
+#define FEDBIAD_DCHECK(cond, msg) \
+  do {                            \
+  } while (false)
+#else
+#define FEDBIAD_DCHECK(cond, msg) FEDBIAD_CHECK(cond, msg)
+#endif

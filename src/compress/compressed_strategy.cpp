@@ -1,0 +1,110 @@
+#include "compress/compressed_strategy.hpp"
+
+#include <algorithm>
+
+#include "baselines/local_train.hpp"
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace fedbiad::compress {
+
+void SparseUpdate::materialize(std::span<float> out,
+                               std::span<std::uint8_t> present) const {
+  FEDBIAD_CHECK(out.size() == dense_size && present.size() == dense_size,
+                "materialize size mismatch");
+  std::fill(out.begin(), out.end(), 0.0F);
+  if (indices.empty()) {
+    // Dense encoding.
+    FEDBIAD_CHECK(values.size() == dense_size, "dense encoding size mismatch");
+    std::copy(values.begin(), values.end(), out.begin());
+    std::fill(present.begin(), present.end(), std::uint8_t{1});
+    return;
+  }
+  std::fill(present.begin(), present.end(), std::uint8_t{0});
+  FEDBIAD_CHECK(values.size() == indices.size(),
+                "sparse encoding size mismatch");
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    out[indices[i]] = values[i];
+    present[indices[i]] = 1;
+  }
+}
+
+SketchedStrategy::SketchedStrategy(CompressorPtr compressor)
+    : compressor_(std::move(compressor)) {
+  FEDBIAD_CHECK(compressor_ != nullptr, "compressor required");
+}
+
+fl::ClientOutcome SketchedStrategy::run_client(fl::ClientContext& ctx) {
+  const auto stats = baselines::train_rounds(ctx, nullptr);
+  nn::ParameterStore& store = ctx.model.store();
+  const std::size_t n = store.size();
+
+  std::vector<float> update(n);
+  auto params = store.params();
+  for (std::size_t i = 0; i < n; ++i) {
+    update[i] = params[i] - ctx.global_params[i];
+  }
+  CompressorState& state =
+      states_.get_or_create(ctx.client_id, [] { return CompressorState{}; });
+  const SparseUpdate sparse = compressor_->compress(update, {}, state);
+
+  fl::ClientOutcome out;
+  out.samples = ctx.shard.size();
+  out.values.resize(n);
+  out.present.resize(n);
+  sparse.materialize(out.values, out.present);
+  out.is_update = true;
+  out.uplink_bytes = sparse.wire_bytes;
+  out.mean_loss = stats.mean_loss;
+  out.last_loss = stats.last_loss;
+  return out;
+}
+
+ComposedStrategy::ComposedStrategy(fl::StrategyPtr inner,
+                                   CompressorPtr compressor)
+    : inner_(std::move(inner)), compressor_(std::move(compressor)) {
+  FEDBIAD_CHECK(inner_ != nullptr && compressor_ != nullptr,
+                "inner strategy and compressor required");
+}
+
+fl::ClientOutcome ComposedStrategy::run_client(fl::ClientContext& ctx) {
+  fl::ClientOutcome inner_out = inner_->run_client(ctx);
+  FEDBIAD_CHECK(!inner_out.is_update,
+                "composition expects a parameter-type inner strategy");
+  const std::size_t n = inner_out.values.size();
+
+  // Update restricted to the coordinates the inner strategy kept.
+  std::vector<float> update(n, 0.0F);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (inner_out.present[i] == 0) continue;
+    update[i] = inner_out.values[i] - ctx.global_params[i];
+  }
+  CompressorState& state =
+      states_.get_or_create(ctx.client_id, [] { return CompressorState{}; });
+  const SparseUpdate sparse =
+      compressor_->compress(update, inner_out.present, state);
+
+  fl::ClientOutcome out;
+  out.samples = inner_out.samples;
+  out.values.resize(n);
+  out.present.resize(n);
+  sparse.materialize(out.values, out.present);
+  // Dense-encoded compressors cover every coordinate; intersect with the
+  // inner mask so dropped rows stay absent.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (inner_out.present[i] == 0) {
+      out.present[i] = 0;
+      out.values[i] = 0.0F;
+    }
+  }
+  out.is_update = true;
+  // Wire size: compressed payload plus the inner strategy's 1-bit-per-row
+  // dropping pattern (the values themselves are not re-sent).
+  const std::size_t rows = ctx.model.store().droppable_rows();
+  out.uplink_bytes = sparse.wire_bytes + (rows + 7) / 8;
+  out.mean_loss = inner_out.mean_loss;
+  out.last_loss = inner_out.last_loss;
+  return out;
+}
+
+}  // namespace fedbiad::compress

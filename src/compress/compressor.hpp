@@ -1,0 +1,58 @@
+// Sketched update compression (paper §V-B, Table II).
+//
+// These methods compress the *model update* after dense local training —
+// the approach the paper contrasts with (and then composes with) federated
+// dropout. Position encoding follows the paper's fairness note: "the
+// position representation of each parameter occupies 64 bits".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fedbiad::compress {
+
+/// A compressed update plus its wire-size accounting. `indices` empty means
+/// a dense encoding (`values.size() == dense_size`).
+struct SparseUpdate {
+  std::vector<std::uint32_t> indices;
+  std::vector<float> values;
+  std::uint64_t wire_bytes = 0;
+  std::size_t dense_size = 0;
+
+  /// Writes the update into `out` (zeroing untouched coordinates) and
+  /// marks transmitted coordinates in `present`.
+  void materialize(std::span<float> out, std::span<std::uint8_t> present) const;
+};
+
+/// Per-client compressor memory (error feedback / momentum correction).
+struct CompressorState {
+  std::vector<float> residual;
+  std::vector<float> momentum;
+};
+
+class UpdateCompressor {
+ public:
+  virtual ~UpdateCompressor() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Compresses `update`. `present[i] == 0` excludes coordinate i from the
+  /// candidate set (used when composing with dropout); an empty span means
+  /// every coordinate is a candidate. Sparsity targets are relative to the
+  /// candidate count. `state` carries this client's residual/momentum and is
+  /// sized on first use.
+  virtual SparseUpdate compress(std::span<const float> update,
+                                std::span<const std::uint8_t> present,
+                                CompressorState& state) = 0;
+};
+
+using CompressorPtr = std::shared_ptr<UpdateCompressor>;
+
+/// Number of candidate coordinates (all when `present` is empty).
+std::size_t candidate_count(std::size_t n,
+                            std::span<const std::uint8_t> present);
+
+}  // namespace fedbiad::compress

@@ -1,0 +1,53 @@
+#include "compress/dgc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "compress/topk.hpp"
+
+namespace fedbiad::compress {
+
+DgcCompressor::DgcCompressor(DgcConfig cfg) : cfg_(cfg) {
+  FEDBIAD_CHECK(cfg.sparsity > 0.0 && cfg.sparsity <= 1.0,
+                "sparsity must be in (0,1]");
+  FEDBIAD_CHECK(cfg.momentum >= 0.0 && cfg.momentum < 1.0,
+                "momentum must be in [0,1)");
+}
+
+SparseUpdate DgcCompressor::compress(std::span<const float> update,
+                                     std::span<const std::uint8_t> present,
+                                     CompressorState& state) {
+  const std::size_t n = update.size();
+  if (state.momentum.size() != n) state.momentum.assign(n, 0.0F);
+  if (state.residual.size() != n) state.residual.assign(n, 0.0F);
+
+  // Momentum correction on the local accumulators (DGC §3.2):
+  //   u ← m·u + g ;  v ← v + u ; transmit top-k of v, clearing sent entries.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!present.empty() && present[i] == 0) continue;
+    state.momentum[i] =
+        static_cast<float>(cfg_.momentum) * state.momentum[i] + update[i];
+    state.residual[i] += state.momentum[i];
+  }
+
+  const std::size_t candidates = candidate_count(n, present);
+  const auto k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(cfg_.sparsity * static_cast<double>(candidates))));
+  SparseUpdate out;
+  out.dense_size = n;
+  out.indices = select_top_k(state.residual, present, k);
+  out.values.reserve(out.indices.size());
+  for (const auto idx : out.indices) {
+    out.values.push_back(state.residual[idx]);
+    // Clear both accumulators for sent coordinates (DGC's gradient masking).
+    state.residual[idx] = 0.0F;
+    state.momentum[idx] = 0.0F;
+  }
+  out.wire_bytes = out.indices.size() *
+                   (sizeof(float) + cfg_.position_bits / 8);
+  return out;
+}
+
+}  // namespace fedbiad::compress

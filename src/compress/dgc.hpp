@@ -1,0 +1,35 @@
+// DGC — Deep Gradient Compression (Lin et al., ICLR 2018).
+//
+// Momentum-corrected top-k sparsification with residual accumulation: the
+// client keeps everything it did not send and adds it to the next round's
+// update, so no gradient information is lost, only delayed. The paper uses
+// DGC as the sketched compressor composed with FedBIAD (Table II), with
+// 32-bit values and 64-bit positions.
+#pragma once
+
+#include "compress/compressor.hpp"
+
+namespace fedbiad::compress {
+
+struct DgcConfig {
+  double sparsity = 0.001;   ///< fraction of candidates transmitted (0.1%)
+  double momentum = 0.9;     ///< momentum-correction factor
+  std::size_t position_bits = 64;  ///< paper's fairness accounting
+};
+
+class DgcCompressor final : public UpdateCompressor {
+ public:
+  explicit DgcCompressor(DgcConfig cfg = {});
+
+  [[nodiscard]] std::string name() const override { return "DGC"; }
+  SparseUpdate compress(std::span<const float> update,
+                        std::span<const std::uint8_t> present,
+                        CompressorState& state) override;
+
+  [[nodiscard]] const DgcConfig& config() const noexcept { return cfg_; }
+
+ private:
+  DgcConfig cfg_;
+};
+
+}  // namespace fedbiad::compress

@@ -1,0 +1,57 @@
+#include "compress/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fedbiad::compress {
+
+SparseUpdate FedPaqCompressor::compress(std::span<const float> update,
+                                        std::span<const std::uint8_t> present,
+                                        CompressorState& state) {
+  (void)state;  // FedPAQ is stateless
+  SparseUpdate out;
+  out.dense_size = update.size();
+  out.values.assign(update.size(), 0.0F);
+  float max_abs = 0.0F;
+  for (std::size_t i = 0; i < update.size(); ++i) {
+    if (!present.empty() && present[i] == 0) continue;
+    max_abs = std::max(max_abs, std::abs(update[i]));
+  }
+  const float scale = max_abs > 0.0F ? max_abs / 127.0F : 1.0F;
+  for (std::size_t i = 0; i < update.size(); ++i) {
+    if (!present.empty() && present[i] == 0) continue;
+    const auto q = static_cast<int>(std::lround(update[i] / scale));
+    out.values[i] = static_cast<float>(std::clamp(q, -127, 127)) * scale;
+  }
+  // Dense over candidates: positions are implicit.
+  out.wire_bytes = candidate_count(update.size(), present) + sizeof(float);
+  return out;
+}
+
+SparseUpdate SignSgdCompressor::compress(std::span<const float> update,
+                                         std::span<const std::uint8_t> present,
+                                         CompressorState& state) {
+  (void)state;  // plain (non-error-feedback) SignSGD
+  SparseUpdate out;
+  out.dense_size = update.size();
+  out.values.assign(update.size(), 0.0F);
+  double mag = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < update.size(); ++i) {
+    if (!present.empty() && present[i] == 0) continue;
+    mag += std::abs(static_cast<double>(update[i]));
+    ++count;
+  }
+  const float scale =
+      count == 0 ? 0.0F : static_cast<float>(mag / static_cast<double>(count));
+  for (std::size_t i = 0; i < update.size(); ++i) {
+    if (!present.empty() && present[i] == 0) continue;
+    out.values[i] = update[i] >= 0.0F ? scale : -scale;
+  }
+  out.wire_bytes = (count + 7) / 8 + sizeof(float);
+  return out;
+}
+
+}  // namespace fedbiad::compress

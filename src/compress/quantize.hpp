@@ -1,0 +1,30 @@
+// Quantization-based compressors: FedPAQ (8-bit) and SignSGD (1-bit).
+#pragma once
+
+#include "compress/compressor.hpp"
+
+namespace fedbiad::compress {
+
+/// FedPAQ (Reisizadeh et al., AISTATS 2020): periodic averaging with an
+/// 8-bit uniform quantizer. Scale is max-|update| over the candidates;
+/// wire size: 1 byte per candidate + 4-byte scale.
+class FedPaqCompressor final : public UpdateCompressor {
+ public:
+  [[nodiscard]] std::string name() const override { return "FedPAQ"; }
+  SparseUpdate compress(std::span<const float> update,
+                        std::span<const std::uint8_t> present,
+                        CompressorState& state) override;
+};
+
+/// SignSGD (Bernstein et al., ICML 2018): 1 bit per coordinate, magnitude
+/// restored as the mean |update| over the candidates; wire size:
+/// 1 bit per candidate + 4-byte scale.
+class SignSgdCompressor final : public UpdateCompressor {
+ public:
+  [[nodiscard]] std::string name() const override { return "SignSGD"; }
+  SparseUpdate compress(std::span<const float> update,
+                        std::span<const std::uint8_t> present,
+                        CompressorState& state) override;
+};
+
+}  // namespace fedbiad::compress

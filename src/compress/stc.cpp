@@ -1,0 +1,53 @@
+#include "compress/stc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "compress/topk.hpp"
+
+namespace fedbiad::compress {
+
+StcCompressor::StcCompressor(StcConfig cfg) : cfg_(cfg) {
+  FEDBIAD_CHECK(cfg.sparsity > 0.0 && cfg.sparsity <= 1.0,
+                "sparsity must be in (0,1]");
+}
+
+SparseUpdate StcCompressor::compress(std::span<const float> update,
+                                     std::span<const std::uint8_t> present,
+                                     CompressorState& state) {
+  const std::size_t n = update.size();
+  if (state.residual.size() != n) state.residual.assign(n, 0.0F);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!present.empty() && present[i] == 0) continue;
+    state.residual[i] += update[i];
+  }
+
+  const std::size_t candidates = candidate_count(n, present);
+  const auto k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(cfg_.sparsity * static_cast<double>(candidates))));
+  SparseUpdate out;
+  out.dense_size = n;
+  out.indices = select_top_k(state.residual, present, k);
+  if (out.indices.empty()) return out;
+
+  double mu_acc = 0.0;
+  for (const auto idx : out.indices) {
+    mu_acc += std::abs(static_cast<double>(state.residual[idx]));
+  }
+  const float mu =
+      static_cast<float>(mu_acc / static_cast<double>(out.indices.size()));
+  out.values.reserve(out.indices.size());
+  for (const auto idx : out.indices) {
+    const float sent = state.residual[idx] >= 0.0F ? mu : -mu;
+    out.values.push_back(sent);
+    state.residual[idx] -= sent;  // error feedback keeps what μ missed
+  }
+  // One sign bit + 64-bit position per value, plus the 4-byte μ.
+  out.wire_bytes =
+      (out.indices.size() * (cfg_.position_bits + 1) + 7) / 8 + sizeof(float);
+  return out;
+}
+
+}  // namespace fedbiad::compress

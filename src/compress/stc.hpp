@@ -1,0 +1,33 @@
+// STC — Sparse Ternary Compression (Sattler et al., IEEE TNNLS 2020).
+//
+// Sparsification + ternarization in one framework: select the top-k
+// residual-corrected coordinates, transmit only their shared magnitude μ
+// (the mean |value| of the selection) and one sign bit each, plus 64-bit
+// positions (the paper's fairness accounting).
+#pragma once
+
+#include "compress/compressor.hpp"
+
+namespace fedbiad::compress {
+
+struct StcConfig {
+  double sparsity = 0.0025;        ///< fraction of candidates transmitted
+  std::size_t position_bits = 64;
+};
+
+class StcCompressor final : public UpdateCompressor {
+ public:
+  explicit StcCompressor(StcConfig cfg = {});
+
+  [[nodiscard]] std::string name() const override { return "STC"; }
+  SparseUpdate compress(std::span<const float> update,
+                        std::span<const std::uint8_t> present,
+                        CompressorState& state) override;
+
+  [[nodiscard]] const StcConfig& config() const noexcept { return cfg_; }
+
+ private:
+  StcConfig cfg_;
+};
+
+}  // namespace fedbiad::compress

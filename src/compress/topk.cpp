@@ -1,0 +1,43 @@
+#include "compress/topk.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "compress/compressor.hpp"
+
+namespace fedbiad::compress {
+
+std::size_t candidate_count(std::size_t n,
+                            std::span<const std::uint8_t> present) {
+  if (present.empty()) return n;
+  return static_cast<std::size_t>(
+      std::count(present.begin(), present.end(), std::uint8_t{1}));
+}
+
+std::vector<std::uint32_t> select_top_k(std::span<const float> values,
+                                        std::span<const std::uint8_t> present,
+                                        std::size_t k) {
+  FEDBIAD_CHECK(present.empty() || present.size() == values.size(),
+                "presence mask size mismatch");
+  std::vector<std::uint32_t> candidates;
+  candidates.reserve(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (present.empty() || present[i] != 0) {
+      candidates.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  k = std::min(k, candidates.size());
+  if (k == 0) return {};
+  std::nth_element(candidates.begin(),
+                   candidates.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   candidates.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return std::abs(values[a]) > std::abs(values[b]);
+                   });
+  candidates.resize(k);
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+}  // namespace fedbiad::compress

@@ -1,0 +1,16 @@
+// Top-k magnitude selection shared by DGC and STC.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fedbiad::compress {
+
+/// Returns the indices of the `k` largest-|value| candidate coordinates
+/// (present[i] != 0, or all when `present` is empty), ascending index order.
+std::vector<std::uint32_t> select_top_k(std::span<const float> values,
+                                        std::span<const std::uint8_t> present,
+                                        std::size_t k);
+
+}  // namespace fedbiad::compress

@@ -1,0 +1,160 @@
+#include "core/fedbiad_strategy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bayes/spike_slab.hpp"
+#include "common/check.hpp"
+#include "core/loss_trend.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/ops.hpp"
+
+namespace fedbiad::core {
+
+namespace {
+
+/// Copies the trained values of kept rows (and every non-droppable
+/// coordinate) from the live parameters into the variational parameters
+/// U^k. Dropped rows keep their previous U values — dropping zeroes the
+/// sampled weight, not μ_j (paper eq. 4).
+void sync_kept_rows(const nn::ParameterStore& store, const DropPattern& pattern,
+                    std::span<const float> params, std::span<float> u_full) {
+  for (std::size_t g = 0; g < store.groups().size(); ++g) {
+    const nn::RowGroup& grp = store.group(g);
+    if (!grp.droppable) {
+      std::copy(params.begin() + static_cast<std::ptrdiff_t>(grp.offset),
+                params.begin() + static_cast<std::ptrdiff_t>(grp.offset +
+                                                             grp.size()),
+                u_full.begin() + static_cast<std::ptrdiff_t>(grp.offset));
+      continue;
+    }
+    for (std::size_t r = 0; r < grp.rows; ++r) {
+      if (!pattern.kept(store.droppable_index(g, r))) continue;
+      const std::size_t begin = grp.offset + r * grp.row_len;
+      std::copy(params.begin() + static_cast<std::ptrdiff_t>(begin),
+                params.begin() + static_cast<std::ptrdiff_t>(begin +
+                                                             grp.row_len),
+                u_full.begin() + static_cast<std::ptrdiff_t>(begin));
+    }
+  }
+}
+
+}  // namespace
+
+bayes::ModelStructure structure_of(const nn::ParameterStore& store,
+                                   double dropout_rate) {
+  bayes::ModelStructure s;
+  std::size_t droppable_weights = 0;
+  std::size_t fixed_weights = 0;
+  for (const nn::RowGroup& g : store.groups()) {
+    if (g.droppable) {
+      droppable_weights += g.size();
+    } else {
+      fixed_weights += g.size();
+    }
+    if (g.kind != nn::GroupKind::kRecurrentHidden) ++s.layers;
+    s.width = std::max(s.width, g.rows);
+    s.input = std::max(s.input, g.row_len - 1);
+  }
+  s.sparsity = fixed_weights +
+               static_cast<std::size_t>(
+                   (1.0 - dropout_rate) *
+                   static_cast<double>(droppable_weights));
+  s.input = std::max<std::size_t>(1, std::min(s.input, s.width));
+  s.weight_bound = 2.0;
+  return s;
+}
+
+FedBiadStrategy::FedBiadStrategy(FedBiadConfig cfg, RowFilter eligible)
+    : cfg_(cfg),
+      eligible_(eligible ? std::move(eligible) : eligible_all()) {
+  FEDBIAD_CHECK(cfg_.dropout_rate >= 0.0 && cfg_.dropout_rate < 1.0,
+                "dropout rate must be in [0,1)");
+  FEDBIAD_CHECK(cfg_.tau >= 1, "tau must be positive");
+}
+
+const WeightScoreVector* FedBiadStrategy::client_scores(
+    std::size_t client_id) {
+  return scores_.find(client_id);
+}
+
+double FedBiadStrategy::effective_posterior_variance(
+    const nn::ParameterStore& store, std::size_t round, std::size_t samples,
+    std::size_t local_iterations) const {
+  if (!cfg_.sample_posterior) return 0.0;
+  if (cfg_.posterior_variance >= 0.0) return cfg_.posterior_variance;
+  const auto structure = structure_of(store, cfg_.dropout_rate);
+  const std::size_t m = std::max<std::size_t>(
+      1, bayes::min_client_data(round, local_iterations, samples));
+  return bayes::posterior_variance(structure, m);
+}
+
+fl::ClientOutcome FedBiadStrategy::run_client(fl::ClientContext& ctx) {
+  nn::ParameterStore& store = ctx.model.store();
+  const std::size_t n = store.size();
+  const std::size_t J = store.droppable_rows();
+
+  WeightScoreVector& scores =
+      scores_.get_or_create(ctx.client_id, [J] { return WeightScoreVector(J); });
+
+  // Step 1: θ^{k,0}_r ~ N(U_{r-1}, s̃²I).
+  const double s2 = effective_posterior_variance(
+      store, ctx.round, ctx.shard.size(), ctx.settings.local_iterations);
+  if (s2 > 0.0) {
+    bayes::sample_gaussian(store.params(), s2, ctx.rng, store.params());
+  }
+  std::vector<float> u_full(n);
+  tensor::copy(store.params(), u_full);
+
+  // Step 2: initial dropping pattern.
+  const bool stage_one = ctx.round <= cfg_.stage_boundary;
+  DropPattern pattern =
+      stage_one
+          ? DropPattern::sample(store, cfg_.dropout_rate, eligible_, ctx.rng)
+          : scores.make_pattern(store, cfg_.dropout_rate, eligible_, ctx.rng);
+  pattern.apply_to_params(store);
+
+  LossTrendController trend(cfg_.tau);
+  for (std::size_t v = 0; v < ctx.settings.local_iterations; ++v) {
+    const auto batch = ctx.dataset.make_batch(
+        data::sample_indices(ctx.shard, ctx.settings.batch_size, ctx.rng));
+    const float loss = ctx.model.train_step(batch);
+    pattern.apply_to_grads(store);  // eq. 7: masked update of U
+    nn::sgd_step(store, ctx.settings.sgd);
+    pattern.apply_to_params(store);
+    trend.record(loss);
+
+    if (trend.should_evaluate() &&
+        v + 1 < ctx.settings.local_iterations) {  // no switch after last iter
+      const double gap = trend.loss_gap();
+      const bool decreased = gap <= 0.0;
+      if (stage_one && !decreased) {
+        DropPattern next =
+            DropPattern::sample(store, cfg_.dropout_rate, eligible_, ctx.rng);
+        scores.update(pattern, false, next);
+        // Restore μ for rows becoming active, then mask with the new pattern.
+        sync_kept_rows(store, pattern, store.params(), u_full);
+        tensor::copy(u_full, store.params());
+        pattern = std::move(next);
+        pattern.apply_to_params(store);
+      } else if (stage_one || cfg_.update_scores_in_stage_two) {
+        scores.update(pattern, decreased, pattern);
+      }
+    }
+  }
+  sync_kept_rows(store, pattern, store.params(), u_full);
+
+  // Step 3: upload kept rows + pattern.
+  fl::ClientOutcome out;
+  out.samples = ctx.shard.size();
+  out.values = std::move(u_full);
+  out.present.assign(n, 1);
+  pattern.mark_presence(store, out.present);
+  out.is_update = false;
+  out.uplink_bytes = pattern.upload_bytes(store);
+  out.mean_loss = trend.mean_loss();
+  out.last_loss = trend.last_loss();
+  return out;
+}
+
+}  // namespace fedbiad::core

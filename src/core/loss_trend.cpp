@@ -1,0 +1,45 @@
+#include "core/loss_trend.hpp"
+
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace fedbiad::core {
+
+LossTrendController::LossTrendController(std::size_t tau) : tau_(tau) {
+  FEDBIAD_CHECK(tau >= 1, "tau must be at least 1");
+}
+
+void LossTrendController::record(double loss) { losses_.push_back(loss); }
+
+bool LossTrendController::should_evaluate() const {
+  const std::size_t v = losses_.size();
+  return v >= 2 * tau_ && v % tau_ == 0;
+}
+
+double LossTrendController::window_mean(std::size_t begin,
+                                        std::size_t end) const {
+  FEDBIAD_DCHECK(begin < end && end <= losses_.size(), "bad window");
+  const double total = std::accumulate(
+      losses_.begin() + static_cast<std::ptrdiff_t>(begin),
+      losses_.begin() + static_cast<std::ptrdiff_t>(end), 0.0);
+  return total / static_cast<double>(end - begin);
+}
+
+double LossTrendController::loss_gap() const {
+  FEDBIAD_CHECK(should_evaluate(), "loss_gap before two full windows");
+  const std::size_t v = losses_.size();
+  return window_mean(v - tau_, v) - window_mean(v - 2 * tau_, v - tau_);
+}
+
+double LossTrendController::mean_loss() const {
+  if (losses_.empty()) return 0.0;
+  return window_mean(0, losses_.size());
+}
+
+double LossTrendController::last_loss() const {
+  FEDBIAD_CHECK(!losses_.empty(), "no losses recorded");
+  return losses_.back();
+}
+
+}  // namespace fedbiad::core

@@ -1,0 +1,50 @@
+// Loss-trend detector (paper eq. 8 and Algorithm 1 lines 18–25).
+//
+// The client records the training loss of every local iteration. Every τ
+// iterations (once v ≥ 2τ so two full windows exist) it compares the mean
+// loss of the last τ iterations against the previous τ:
+//     ΔL = L̄_[v-τ+1..v] − L̄_[v-2τ+1..v-τ].
+// ΔL ≤ 0 means the current dropping pattern is "favorable for loss
+// decrease" and is kept; ΔL > 0 triggers a pattern resample.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fedbiad::core {
+
+class LossTrendController {
+ public:
+  explicit LossTrendController(std::size_t tau);
+
+  /// Records the loss of the next local iteration.
+  void record(double loss);
+
+  /// Number of iterations recorded so far (v in paper notation, 1-based).
+  [[nodiscard]] std::size_t iterations() const noexcept {
+    return losses_.size();
+  }
+
+  /// True when a ΔL evaluation is due: v a positive multiple of τ with at
+  /// least two complete windows (v ≥ 2τ), matching "v > τ and v % τ == 0".
+  [[nodiscard]] bool should_evaluate() const;
+
+  /// ΔL^{k,v}_r of eq. 8. Only valid when should_evaluate() is true.
+  [[nodiscard]] double loss_gap() const;
+
+  /// Mean loss over all recorded iterations.
+  [[nodiscard]] double mean_loss() const;
+
+  /// Loss of the most recent iteration.
+  [[nodiscard]] double last_loss() const;
+
+  [[nodiscard]] std::size_t tau() const noexcept { return tau_; }
+
+ private:
+  [[nodiscard]] double window_mean(std::size_t begin, std::size_t end) const;
+
+  std::size_t tau_;
+  std::vector<double> losses_;
+};
+
+}  // namespace fedbiad::core

@@ -1,0 +1,56 @@
+// Experience-based importance indicator E^k (paper §IV-D, eq. 9).
+//
+// During stage one the client records, for every weight row it currently
+// holds, whether the row participated in a loss-decreasing pattern:
+//     E_j ← E_j + 1        if ΔL ≤ 0 (pattern kept)
+//     E_j ← E_j + e_j      if ΔL > 0, where e_j = 1 iff the row stays kept
+//                          in the freshly resampled pattern.
+// In stage two (r > Rb) the accumulated scores determine the pattern: rows
+// scoring above the p-quantile threshold λ are kept.
+#pragma once
+
+#include <vector>
+
+#include "core/drop_pattern.hpp"
+
+namespace fedbiad::core {
+
+class WeightScoreVector {
+ public:
+  WeightScoreVector() = default;
+  explicit WeightScoreVector(std::size_t rows) : scores_(rows, 0.0) {}
+  /// Adopts an existing score vector (e.g. AFD's server-side score map).
+  explicit WeightScoreVector(std::vector<double> scores)
+      : scores_(std::move(scores)) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return scores_.size(); }
+  [[nodiscard]] double score(std::size_t j) const { return scores_[j]; }
+  [[nodiscard]] const std::vector<double>& scores() const noexcept {
+    return scores_;
+  }
+
+  /// Applies eq. 9 at one ΔL evaluation point. `held` is the pattern used for
+  /// the iterations just finished; `next` the pattern chosen for the next τ
+  /// iterations (same object as `held` when ΔL ≤ 0).
+  void update(const DropPattern& held, bool loss_decreased,
+              const DropPattern& next);
+
+  /// p-quantile threshold λ^k_r of the scores (paper: rows with E_j > λ are
+  /// kept).
+  [[nodiscard]] double quantile(double p) const;
+
+  /// Builds the stage-two pattern: within every eligible group the
+  /// top (1-p)-fraction of rows by score is kept (ties broken by the rng so
+  /// untrained groups don't collapse to index order); ineligible rows stay
+  /// kept. Keeping the per-group budget equal to stage one's preserves the
+  /// exact (1-p)× upload size.
+  [[nodiscard]] DropPattern make_pattern(const nn::ParameterStore& store,
+                                         double dropout_rate,
+                                         const RowFilter& eligible,
+                                         tensor::Rng& rng) const;
+
+ private:
+  std::vector<double> scores_;
+};
+
+}  // namespace fedbiad::core

@@ -1,0 +1,26 @@
+// A minibatch of either images or token sequences.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace fedbiad::data {
+
+/// Dense minibatch. `seq == 0` means an image/classification batch: `x` is
+/// (batch × features) and `targets` holds one label per sample. `seq > 0`
+/// means a language-modelling batch: `tokens` holds `batch * seq` input ids
+/// laid out sample-major (tokens[b*seq + t]) and `targets` the next-token id
+/// for each position in the same layout.
+struct Batch {
+  tensor::Matrix x;
+  std::vector<std::int32_t> tokens;
+  std::vector<std::int32_t> targets;
+  std::size_t batch = 0;
+  std::size_t seq = 0;
+
+  [[nodiscard]] bool is_text() const noexcept { return seq > 0; }
+};
+
+}  // namespace fedbiad::data

@@ -1,0 +1,28 @@
+#include "data/dataset.hpp"
+
+#include "common/check.hpp"
+
+namespace fedbiad::data {
+
+std::vector<std::size_t> sample_indices(std::span<const std::size_t> shard,
+                                        std::size_t batch_size,
+                                        tensor::Rng& rng) {
+  FEDBIAD_CHECK(!shard.empty(), "cannot sample from an empty shard");
+  std::vector<std::size_t> out(batch_size);
+  for (auto& idx : out) idx = shard[rng.uniform_index(shard.size())];
+  return out;
+}
+
+void for_each_batch(const Dataset& dataset, std::size_t batch_size,
+                    const std::function<void(const Batch&)>& fn) {
+  FEDBIAD_CHECK(batch_size > 0, "batch size must be positive");
+  std::vector<std::size_t> indices;
+  for (std::size_t begin = 0; begin < dataset.size(); begin += batch_size) {
+    const std::size_t end = std::min(dataset.size(), begin + batch_size);
+    indices.resize(end - begin);
+    for (std::size_t i = begin; i < end; ++i) indices[i - begin] = i;
+    fn(dataset.make_batch(indices));
+  }
+}
+
+}  // namespace fedbiad::data

@@ -1,0 +1,47 @@
+// Dataset abstraction: a pool of samples addressed by index, from which the
+// FL engine draws minibatches for a client's local shard.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "data/batch.hpp"
+#include "tensor/rng.hpp"
+
+namespace fedbiad::data {
+
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Assembles the samples at `indices` into a dense batch.
+  [[nodiscard]] virtual Batch make_batch(
+      std::span<const std::size_t> indices) const = 0;
+
+  /// Class count (images) or vocabulary size (text).
+  [[nodiscard]] virtual std::size_t num_classes() const = 0;
+
+  [[nodiscard]] virtual bool is_text() const = 0;
+
+  /// Partitioning label: image class, or dominant topic for text.
+  [[nodiscard]] virtual std::int32_t label(std::size_t index) const = 0;
+};
+
+using DatasetPtr = std::shared_ptr<const Dataset>;
+
+/// Draws `batch_size` indices uniformly (with replacement) from `shard` —
+/// one local SGD iteration's minibatch.
+std::vector<std::size_t> sample_indices(std::span<const std::size_t> shard,
+                                        std::size_t batch_size,
+                                        tensor::Rng& rng);
+
+/// Runs `fn` over the whole dataset in sequential batches (for evaluation).
+void for_each_batch(const Dataset& dataset, std::size_t batch_size,
+                    const std::function<void(const Batch&)>& fn);
+
+}  // namespace fedbiad::data

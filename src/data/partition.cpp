@@ -1,0 +1,119 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace fedbiad::data {
+
+Partition partition_iid(std::size_t samples, std::size_t clients,
+                        tensor::Rng& rng) {
+  FEDBIAD_CHECK(clients > 0, "need at least one client");
+  std::vector<std::size_t> order(samples);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  Partition out(clients);
+  for (std::size_t i = 0; i < samples; ++i) {
+    out[i % clients].push_back(order[i]);
+  }
+  return out;
+}
+
+Partition partition_shards(const Dataset& dataset, std::size_t clients,
+                           std::size_t shards_per_client, tensor::Rng& rng) {
+  FEDBIAD_CHECK(clients > 0 && shards_per_client > 0,
+                "need clients and shards");
+  const std::size_t n = dataset.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return dataset.label(a) < dataset.label(b);
+                   });
+  const std::size_t total_shards = clients * shards_per_client;
+  FEDBIAD_CHECK(total_shards <= n, "more shards than samples");
+  std::vector<std::size_t> shard_ids(total_shards);
+  std::iota(shard_ids.begin(), shard_ids.end(), 0);
+  rng.shuffle(shard_ids);
+  const std::size_t shard_size = n / total_shards;
+  Partition out(clients);
+  for (std::size_t k = 0; k < clients; ++k) {
+    for (std::size_t s = 0; s < shards_per_client; ++s) {
+      const std::size_t shard = shard_ids[k * shards_per_client + s];
+      const std::size_t begin = shard * shard_size;
+      const std::size_t end =
+          shard + 1 == total_shards ? n : begin + shard_size;
+      for (std::size_t i = begin; i < end; ++i) {
+        out[k].push_back(order[i]);
+      }
+    }
+  }
+  return out;
+}
+
+Partition partition_dirichlet(const Dataset& dataset, std::size_t clients,
+                              double alpha, tensor::Rng& rng) {
+  FEDBIAD_CHECK(clients > 0, "need at least one client");
+  FEDBIAD_CHECK(alpha > 0.0, "Dirichlet concentration must be positive");
+  // Group sample indices by label.
+  std::size_t num_labels = 0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    num_labels = std::max<std::size_t>(
+        num_labels, static_cast<std::size_t>(dataset.label(i)) + 1);
+  }
+  std::vector<std::vector<std::size_t>> by_label(num_labels);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    by_label[static_cast<std::size_t>(dataset.label(i))].push_back(i);
+  }
+  Partition out(clients);
+  for (auto& members : by_label) {
+    rng.shuffle(members);
+    // Approximate Dirichlet draw over clients (see text_synth.cpp note).
+    std::vector<double> weights(clients);
+    double total = 0.0;
+    for (auto& w : weights) {
+      const double u = std::max(rng.uniform(), 1e-12);
+      w = std::pow(u, 1.0 / alpha);
+      total += w;
+    }
+    std::size_t start = 0;
+    double cum = 0.0;
+    for (std::size_t k = 0; k < clients; ++k) {
+      cum += weights[k] / total;
+      const auto end = k + 1 == clients
+                           ? members.size()
+                           : std::min(members.size(),
+                                      static_cast<std::size_t>(
+                                          cum * static_cast<double>(
+                                                    members.size())));
+      for (std::size_t i = start; i < end; ++i) {
+        out[k].push_back(members[i]);
+      }
+      start = end;
+    }
+  }
+  return out;
+}
+
+double label_skew(const Dataset& dataset, const Partition& partition,
+                  std::size_t num_labels) {
+  FEDBIAD_CHECK(num_labels > 0, "need label count");
+  double acc = 0.0;
+  std::size_t counted = 0;
+  std::vector<std::size_t> hist(num_labels);
+  for (const auto& shard : partition) {
+    if (shard.empty()) continue;
+    std::fill(hist.begin(), hist.end(), 0);
+    for (const auto idx : shard) {
+      ++hist[static_cast<std::size_t>(dataset.label(idx)) % num_labels];
+    }
+    acc += static_cast<double>(*std::max_element(hist.begin(), hist.end())) /
+           static_cast<double>(shard.size());
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : acc / static_cast<double>(counted);
+}
+
+}  // namespace fedbiad::data

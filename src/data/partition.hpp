@@ -1,0 +1,35 @@
+// Client partitioning strategies for federated simulation.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "tensor/rng.hpp"
+
+namespace fedbiad::data {
+
+using Partition = std::vector<std::vector<std::size_t>>;
+
+/// Uniform random split without overlap.
+Partition partition_iid(std::size_t samples, std::size_t clients,
+                        tensor::Rng& rng);
+
+/// Label-sorted shard partitioning (McMahan et al.): samples are sorted by
+/// label, cut into `shards_per_client * clients` shards, and each client
+/// receives `shards_per_client` random shards — the paper's non-IID strategy
+/// for MNIST/FMNIST (via [28]).
+Partition partition_shards(const Dataset& dataset, std::size_t clients,
+                           std::size_t shards_per_client, tensor::Rng& rng);
+
+/// Dirichlet(alpha) label-skew partitioning: for each class, sample a
+/// distribution over clients and allocate that class's samples accordingly.
+Partition partition_dirichlet(const Dataset& dataset, std::size_t clients,
+                              double alpha, tensor::Rng& rng);
+
+/// Summary statistic used by tests and examples: the mean across clients of
+/// the fraction of a client's samples belonging to its most frequent label.
+/// 1/num_labels for perfectly uniform data, → 1 for pathological skew.
+double label_skew(const Dataset& dataset, const Partition& partition,
+                  std::size_t num_labels);
+
+}  // namespace fedbiad::data

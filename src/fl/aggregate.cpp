@@ -1,0 +1,55 @@
+#include "fl/aggregate.hpp"
+
+#include "common/check.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace fedbiad::fl {
+
+void aggregate(std::span<float> global_params,
+               std::span<const ClientOutcome> outcomes, AggregationRule rule) {
+  FEDBIAD_CHECK(!outcomes.empty(), "aggregate with no client outcomes");
+  const std::size_t n = global_params.size();
+  const bool is_update = outcomes.front().is_update;
+  double total_weight = 0.0;
+  for (const ClientOutcome& o : outcomes) {
+    FEDBIAD_CHECK(o.values.size() == n && o.present.size() == n,
+                  "client outcome size mismatch");
+    FEDBIAD_CHECK(o.is_update == is_update,
+                  "cannot mix parameter and update outcomes");
+    FEDBIAD_CHECK(o.samples > 0, "client outcome without samples");
+    total_weight += static_cast<double>(o.samples);
+  }
+
+  parallel::parallel_for(
+      n,
+      [&](std::size_t i) {
+        double acc = 0.0;
+        double present_weight = 0.0;
+        for (const ClientOutcome& o : outcomes) {
+          if (o.present[i] == 0) continue;
+          const auto w = static_cast<double>(o.samples);
+          acc += w * static_cast<double>(o.values[i]);
+          present_weight += w;
+        }
+        const double denom = rule == AggregationRule::kMaskedAverage
+                                 ? total_weight
+                                 : present_weight;
+        if (is_update) {
+          // Missing coordinates simply receive no update.
+          if (denom > 0.0) {
+            global_params[i] += static_cast<float>(acc / denom);
+          }
+        } else {
+          if (rule == AggregationRule::kMaskedAverage) {
+            global_params[i] = static_cast<float>(acc / total_weight);
+          } else if (denom > 0.0) {
+            global_params[i] = static_cast<float>(acc / denom);
+          }
+          // else: no client transmitted this coordinate — keep the previous
+          // global value.
+        }
+      },
+      outcomes.size() * 2);
+}
+
+}  // namespace fedbiad::fl

@@ -1,0 +1,25 @@
+// Server-side global aggregation (paper §IV-E).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fl/strategy.hpp"
+
+namespace fedbiad::fl {
+
+/// Combines client outcomes into the global parameter vector in place.
+///
+/// Parameter-type outcomes (is_update == false) replace coordinates; update-
+/// type outcomes add a weighted-average delta. All outcomes in one call must
+/// agree on is_update. Weighting follows eq. 10: client k contributes with
+/// weight |D_k|.
+///
+/// kMaskedAverage implements eq. 10 literally (dropped coordinates count as
+/// zeros); kPerCoordinateNormalized averages every coordinate over the
+/// clients that transmitted it and keeps the previous global value where no
+/// client did (see DESIGN.md §2 for why this is the default).
+void aggregate(std::span<float> global_params,
+               std::span<const ClientOutcome> outcomes, AggregationRule rule);
+
+}  // namespace fedbiad::fl

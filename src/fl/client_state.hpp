@@ -1,0 +1,52 @@
+// Thread-safe persistent per-client state.
+//
+// Strategies that keep memory across rounds (FedBIAD's weight score vector,
+// DGC's momentum/residual buffers) store it here. Different clients within a
+// round run on different threads but each client id is processed by exactly
+// one thread per round, so only the map itself needs locking; the returned
+// reference is safe to use without further synchronization for the duration
+// of that client's turn.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace fedbiad::fl {
+
+template <typename State>
+class ClientStateStore {
+ public:
+  /// Returns the state for `client_id`, creating it with `make` on first use.
+  template <typename Factory>
+  State& get_or_create(std::size_t client_id, Factory&& make) {
+    std::scoped_lock lock(mutex_);
+    auto it = states_.find(client_id);
+    if (it == states_.end()) {
+      it = states_.emplace(client_id,
+                           std::make_unique<State>(std::forward<Factory>(make)()))
+               .first;
+    }
+    return *it->second;
+  }
+
+  /// Returns the state if it exists, nullptr otherwise.
+  State* find(std::size_t client_id) {
+    std::scoped_lock lock(mutex_);
+    const auto it = states_.find(client_id);
+    return it == states_.end() ? nullptr : it->second.get();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::scoped_lock lock(mutex_);
+    return states_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::size_t, std::unique_ptr<State>> states_;
+};
+
+}  // namespace fedbiad::fl

@@ -1,0 +1,71 @@
+#include "fl/metrics.hpp"
+
+#include <ostream>
+
+namespace fedbiad::fl {
+
+double SimulationResult::mean_upload_bytes() const {
+  double bytes = 0.0;
+  double clients = 0.0;
+  for (const RoundRecord& r : rounds) {
+    bytes += static_cast<double>(r.uplink_bytes_total);
+    clients += static_cast<double>(r.participants);
+  }
+  return clients == 0.0 ? 0.0 : bytes / clients;
+}
+
+std::optional<std::size_t> SimulationResult::rounds_to_accuracy(
+    double target, bool use_topk) const {
+  for (const RoundRecord& r : rounds) {
+    const double acc = use_topk ? r.topk : r.top1;
+    if (acc >= target) return r.round;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> SimulationResult::time_to_accuracy(double target,
+                                                         bool use_topk) const {
+  double elapsed = 0.0;
+  for (const RoundRecord& r : rounds) {
+    elapsed += r.wall_seconds();
+    const double acc = use_topk ? r.topk : r.top1;
+    if (acc >= target) return elapsed;
+  }
+  return std::nullopt;
+}
+
+double SimulationResult::best_accuracy(bool use_topk) const {
+  double best = 0.0;
+  for (const RoundRecord& r : rounds) {
+    best = std::max(best, use_topk ? r.topk : r.top1);
+  }
+  return best;
+}
+
+double SimulationResult::final_accuracy(bool use_topk) const {
+  if (rounds.empty()) return 0.0;
+  return use_topk ? rounds.back().topk : rounds.back().top1;
+}
+
+double SimulationResult::mean_lttr_seconds() const {
+  if (rounds.empty()) return 0.0;
+  double acc = 0.0;
+  for (const RoundRecord& r : rounds) acc += r.lttr_seconds;
+  return acc / static_cast<double>(rounds.size());
+}
+
+void SimulationResult::write_csv(std::ostream& os) const {
+  os << "round,train_loss,test_loss,top1,topk,uplink_total_bytes,"
+        "uplink_max_bytes,downlink_bytes,lttr_s,upload_s,download_s,"
+        "aggregate_s,wall_s\n";
+  for (const RoundRecord& r : rounds) {
+    os << r.round << ',' << r.train_loss << ',' << r.test_loss << ','
+       << r.top1 << ',' << r.topk << ',' << r.uplink_bytes_total << ','
+       << r.uplink_bytes_max << ',' << r.downlink_bytes << ','
+       << r.lttr_seconds << ',' << r.upload_seconds << ','
+       << r.download_seconds << ',' << r.aggregate_seconds << ','
+       << r.wall_seconds() << '\n';
+  }
+}
+
+}  // namespace fedbiad::fl

@@ -1,0 +1,64 @@
+// Per-round metrics and simulation results.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fedbiad::fl {
+
+/// One global round's record: accuracy, losses, traffic, and the simulated
+/// wall-clock decomposition used for LTTR/TTA analysis (paper §V-C).
+struct RoundRecord {
+  std::size_t round = 0;  ///< 1-based
+  double train_loss = 0.0;  ///< mean of participating clients' mean loss
+  double test_loss = 0.0;
+  double top1 = 0.0;
+  double topk = 0.0;
+  std::size_t participants = 0;          ///< selected clients this round
+  std::uint64_t uplink_bytes_total = 0;  ///< sum over selected clients
+  std::uint64_t uplink_bytes_max = 0;    ///< slowest single client
+  std::uint64_t downlink_bytes = 0;      ///< per-client download
+  double lttr_seconds = 0.0;        ///< max local training time in the round
+  double upload_seconds = 0.0;      ///< slowest client's upload
+  double download_seconds = 0.0;
+  double aggregate_seconds = 0.0;
+  /// Simulated device-side round time: download + local training + upload +
+  /// aggregation (clients run in parallel, so max-per-client terms are used).
+  [[nodiscard]] double wall_seconds() const {
+    return download_seconds + lttr_seconds + upload_seconds +
+           aggregate_seconds;
+  }
+};
+
+struct SimulationResult {
+  std::string strategy;
+  std::vector<RoundRecord> rounds;
+  std::vector<float> final_params;
+
+  /// Mean per-client upload size per round (paper Table I "Upload Size").
+  [[nodiscard]] double mean_upload_bytes() const;
+
+  /// First 1-based round whose accuracy reaches `target` (top-k metric when
+  /// `use_topk`), or nullopt if never reached.
+  [[nodiscard]] std::optional<std::size_t> rounds_to_accuracy(
+      double target, bool use_topk) const;
+
+  /// Simulated time to reach `target` accuracy (paper's TTA, §V-C): the sum
+  /// of wall_seconds over rounds up to and including the reaching round.
+  [[nodiscard]] std::optional<double> time_to_accuracy(double target,
+                                                       bool use_topk) const;
+
+  [[nodiscard]] double best_accuracy(bool use_topk) const;
+  [[nodiscard]] double final_accuracy(bool use_topk) const;
+
+  /// Mean LTTR over rounds (paper Fig. 7a/7b).
+  [[nodiscard]] double mean_lttr_seconds() const;
+
+  /// Writes a CSV with one row per round.
+  void write_csv(std::ostream& os) const;
+};
+
+}  // namespace fedbiad::fl

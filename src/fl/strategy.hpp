@@ -1,0 +1,110 @@
+// Strategy interface: the pluggable per-algorithm behaviour of the FL
+// simulation (FedBIAD, FedAvg, FedDrop, AFD, FedMP, FjORD, HeteroFL, and the
+// sketched-compression wrappers all implement this).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/model.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/rng.hpp"
+
+namespace fedbiad::fl {
+
+/// Local-training hyperparameters shared by all strategies.
+struct TrainSettings {
+  std::size_t local_iterations = 20;  ///< V
+  std::size_t batch_size = 32;
+  nn::SgdConfig sgd;
+  std::size_t topk = 1;  ///< evaluation metric: 1 for images, 3 for next-word
+};
+
+/// What one client hands back to the server.
+///
+/// `values` is the dense, already-reconstructed length-N vector the server
+/// works with (the wire encoding is captured separately by `uplink_bytes`):
+/// model parameters when `is_update` is false, or a delta to add to the
+/// global model when true. `present[i]` says whether coordinate i was
+/// actually transmitted — aggregation only trusts transmitted coordinates.
+struct ClientOutcome {
+  std::size_t client_id = 0;
+  std::size_t samples = 0;  ///< |D_k|, the aggregation weight (eq. 10)
+  std::vector<float> values;
+  std::vector<std::uint8_t> present;
+  bool is_update = false;
+  std::uint64_t uplink_bytes = 0;
+  double train_seconds = 0.0;  ///< local wall time (LTTR contribution)
+  double mean_loss = 0.0;      ///< average training loss over the V iterations
+  double last_loss = 0.0;      ///< loss of the final iteration
+};
+
+/// Everything a strategy needs to run one client for one round. The model's
+/// parameters have already been loaded with the current global parameters.
+struct ClientContext {
+  std::size_t client_id = 0;
+  std::size_t round = 0;  ///< 1-based global round r
+  nn::Model& model;
+  std::span<const float> global_params;
+  const data::Dataset& dataset;
+  std::span<const std::size_t> shard;
+  const TrainSettings& settings;
+  tensor::Rng rng;  ///< stream unique to (client, round)
+};
+
+/// How the server combines client values (DESIGN.md §2 discusses the two).
+enum class AggregationRule {
+  /// Literal eq. 10: weighted average of β ∘ U including the zeros of
+  /// dropped rows. Kept for tests and the ablation bench.
+  kMaskedAverage,
+  /// Standard federated-dropout rule: average each coordinate over the
+  /// clients that transmitted it; keep the previous global value when nobody
+  /// did.
+  kPerCoordinateNormalized,
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Runs one client's local training. Executed on a worker thread; must not
+  /// touch shared mutable state except through its own synchronized members.
+  virtual ClientOutcome run_client(ClientContext& ctx) = 0;
+
+  /// Called on the engine thread before clients start (round is 1-based).
+  virtual void begin_round(std::size_t round,
+                           std::span<const float> global_params) {
+    (void)round;
+    (void)global_params;
+  }
+
+  /// Called on the engine thread after aggregation with the new global
+  /// parameters.
+  virtual void end_round(std::size_t round,
+                         std::span<const float> old_global,
+                         std::span<const float> new_global) {
+    (void)round;
+    (void)old_global;
+    (void)new_global;
+  }
+
+  [[nodiscard]] virtual AggregationRule aggregation_rule() const {
+    return AggregationRule::kPerCoordinateNormalized;
+  }
+
+  /// Downlink payload per client (default: the dense global model).
+  [[nodiscard]] virtual std::uint64_t downlink_bytes(
+      std::size_t param_count) const {
+    return static_cast<std::uint64_t>(param_count) * sizeof(float);
+  }
+};
+
+using StrategyPtr = std::shared_ptr<Strategy>;
+
+}  // namespace fedbiad::fl

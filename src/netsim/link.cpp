@@ -1,0 +1,17 @@
+#include "netsim/link.hpp"
+
+#include "common/check.hpp"
+
+namespace fedbiad::netsim {
+
+double LinkModel::upload_seconds(std::uint64_t bytes) const {
+  FEDBIAD_CHECK(up_mbps > 0.0, "uplink rate must be positive");
+  return static_cast<double>(bytes) * 8.0 / (up_mbps * 1e6);
+}
+
+double LinkModel::download_seconds(std::uint64_t bytes) const {
+  FEDBIAD_CHECK(down_mbps > 0.0, "downlink rate must be positive");
+  return static_cast<double>(bytes) * 8.0 / (down_mbps * 1e6);
+}
+
+}  // namespace fedbiad::netsim

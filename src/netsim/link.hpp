@@ -1,0 +1,20 @@
+// Wireless link timing model.
+//
+// The paper simulates transmission over the T-Mobile 5G network measured by
+// Opensignal (Jan 2022): 110.6 Mbps downlink, 14.0 Mbps uplink — the ~8×
+// asymmetry that makes the uplink the FL bottleneck (§I).
+#pragma once
+
+#include <cstdint>
+
+namespace fedbiad::netsim {
+
+struct LinkModel {
+  double down_mbps = 110.6;
+  double up_mbps = 14.0;
+
+  [[nodiscard]] double upload_seconds(std::uint64_t bytes) const;
+  [[nodiscard]] double download_seconds(std::uint64_t bytes) const;
+};
+
+}  // namespace fedbiad::netsim

@@ -1,0 +1,44 @@
+#include "netsim/tta.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace fedbiad::netsim {
+
+UploadSummary summarize_upload(const fl::SimulationResult& result,
+                               std::uint64_t dense_bytes) {
+  UploadSummary s;
+  s.mean_bytes = result.mean_upload_bytes();
+  s.save_ratio = s.mean_bytes > 0.0
+                     ? static_cast<double>(dense_bytes) / s.mean_bytes
+                     : 1.0;
+  return s;
+}
+
+std::string format_bytes(double bytes) {
+  char buf[32];
+  if (bytes >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof buf, "%.1fMB", bytes / (1024.0 * 1024.0));
+  } else if (bytes >= 1024.0) {
+    std::snprintf(buf, sizeof buf, "%.0fKB", bytes / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0fB", bytes);
+  }
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[32];
+  if (seconds >= 120.0) {
+    std::snprintf(buf, sizeof buf, "%.1fmin", seconds / 60.0);
+  } else if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.1fs", seconds);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0fms", seconds * 1000.0);
+  }
+  return buf;
+}
+
+}  // namespace fedbiad::netsim

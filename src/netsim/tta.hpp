@@ -1,0 +1,27 @@
+// Upload-size and time-to-accuracy reporting helpers (paper Tables I/II and
+// Fig. 7/8 derive everything from these).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fl/metrics.hpp"
+
+namespace fedbiad::netsim {
+
+struct UploadSummary {
+  double mean_bytes = 0.0;  ///< mean per-client per-round upload
+  double save_ratio = 1.0;  ///< dense_bytes / mean_bytes (Table I "Save Ratio")
+};
+
+/// Summarizes a simulation's upload traffic against the dense model size.
+UploadSummary summarize_upload(const fl::SimulationResult& result,
+                               std::uint64_t dense_bytes);
+
+/// Human-readable byte count in the paper's style ("531KB", "29.8MB").
+std::string format_bytes(double bytes);
+
+/// Human-readable seconds ("12.3s", "4.1min").
+std::string format_seconds(double seconds);
+
+}  // namespace fedbiad::netsim

@@ -1,0 +1,147 @@
+#include "nn/conv2d.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace fedbiad::nn {
+
+Conv2D::Conv2D(ParameterStore& store, std::string name,
+               std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t height, std::size_t width,
+               bool droppable)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      h_(height),
+      w_(width),
+      oh_(height - kernel + 1),
+      ow_(width - kernel + 1) {
+  FEDBIAD_CHECK(kernel <= height && kernel <= width,
+                "conv kernel larger than input");
+  group_ = store.add_group(std::move(name), GroupKind::kConvFilter,
+                           out_channels, in_channels * kernel * kernel + 1,
+                           droppable);
+}
+
+void Conv2D::init(ParameterStore& store, tensor::Rng& rng) const {
+  const std::size_t fan_in = in_channels_ * kernel_ * kernel_;
+  const float bound = std::sqrt(6.0F / static_cast<float>(fan_in));
+  auto w = store.group_params(group_);
+  const std::size_t row_len = fan_in + 1;
+  for (std::size_t f = 0; f < out_channels_; ++f) {
+    float* row = w.data() + f * row_len;
+    for (std::size_t i = 0; i < fan_in; ++i) {
+      row[i] = static_cast<float>(rng.uniform(-bound, bound));
+    }
+    row[fan_in] = 0.0F;
+  }
+}
+
+void Conv2D::forward(const ParameterStore& store, const tensor::Matrix& x,
+                     tensor::Matrix& out) const {
+  FEDBIAD_CHECK(x.cols() == in_channels_ * h_ * w_,
+                "conv forward: input size mismatch");
+  out.resize(x.rows(), out_size());
+  const float* w = store.group_params(group_).data();
+  const std::size_t fan_in = in_channels_ * kernel_ * kernel_;
+  const std::size_t row_len = fan_in + 1;
+  parallel::parallel_for(
+      x.rows(),
+      [&, w](std::size_t b) {
+        const float* xb = x.data() + b * x.cols();
+        float* ob = out.data() + b * out_size();
+        for (std::size_t f = 0; f < out_channels_; ++f) {
+          const float* filt = w + f * row_len;
+          for (std::size_t oy = 0; oy < oh_; ++oy) {
+            for (std::size_t ox = 0; ox < ow_; ++ox) {
+              float acc = filt[fan_in];
+              std::size_t widx = 0;
+              for (std::size_t c = 0; c < in_channels_; ++c) {
+                const float* plane = xb + c * h_ * w_;
+                for (std::size_t ky = 0; ky < kernel_; ++ky) {
+                  const float* row = plane + (oy + ky) * w_ + ox;
+                  for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                    acc += filt[widx++] * row[kx];
+                  }
+                }
+              }
+              ob[f * oh_ * ow_ + oy * ow_ + ox] = acc;
+            }
+          }
+        }
+      },
+      out_size() * fan_in);
+}
+
+void Conv2D::backward(ParameterStore& store, const tensor::Matrix& x,
+                      const tensor::Matrix& g_out,
+                      tensor::Matrix* g_in) const {
+  FEDBIAD_CHECK(g_out.rows() == x.rows() && g_out.cols() == out_size(),
+                "conv backward: gradient shape mismatch");
+  const std::size_t fan_in = in_channels_ * kernel_ * kernel_;
+  const std::size_t row_len = fan_in + 1;
+  float* dw = store.group_grads(group_).data();
+  const std::size_t batch = x.rows();
+  // Filter rows are disjoint across tasks.
+  parallel::parallel_for(
+      out_channels_,
+      [&, dw](std::size_t f) {
+        float* dfilt = dw + f * row_len;
+        for (std::size_t b = 0; b < batch; ++b) {
+          const float* xb = x.data() + b * x.cols();
+          const float* gb = g_out.data() + b * out_size() + f * oh_ * ow_;
+          for (std::size_t oy = 0; oy < oh_; ++oy) {
+            for (std::size_t ox = 0; ox < ow_; ++ox) {
+              const float g = gb[oy * ow_ + ox];
+              if (g == 0.0F) continue;
+              dfilt[fan_in] += g;
+              std::size_t widx = 0;
+              for (std::size_t c = 0; c < in_channels_; ++c) {
+                const float* plane = xb + c * h_ * w_;
+                for (std::size_t ky = 0; ky < kernel_; ++ky) {
+                  const float* row = plane + (oy + ky) * w_ + ox;
+                  for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                    dfilt[widx++] += g * row[kx];
+                  }
+                }
+              }
+            }
+          }
+        }
+      },
+      batch * oh_ * ow_ * fan_in);
+  if (g_in == nullptr) return;
+  const float* w = store.group_params(group_).data();
+  g_in->resize(batch, x.cols());
+  parallel::parallel_for(
+      batch,
+      [&, w](std::size_t b) {
+        float* ib = g_in->data() + b * x.cols();
+        std::fill(ib, ib + x.cols(), 0.0F);
+        const float* gb = g_out.data() + b * out_size();
+        for (std::size_t f = 0; f < out_channels_; ++f) {
+          const float* filt = w + f * row_len;
+          for (std::size_t oy = 0; oy < oh_; ++oy) {
+            for (std::size_t ox = 0; ox < ow_; ++ox) {
+              const float g = gb[f * oh_ * ow_ + oy * ow_ + ox];
+              if (g == 0.0F) continue;
+              std::size_t widx = 0;
+              for (std::size_t c = 0; c < in_channels_; ++c) {
+                float* plane = ib + c * h_ * w_;
+                for (std::size_t ky = 0; ky < kernel_; ++ky) {
+                  float* row = plane + (oy + ky) * w_ + ox;
+                  for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                    row[kx] += g * filt[widx++];
+                  }
+                }
+              }
+            }
+          }
+        }
+      },
+      out_size() * fan_in);
+}
+
+}  // namespace fedbiad::nn

@@ -1,0 +1,45 @@
+// 2-D convolution with filter-wise weight rows.
+//
+// The paper (§IV-C) extends row-wise dropout to CNNs by viewing weights per
+// filter: one row group row = one filter's C×kh×kw weights plus its bias, so
+// a dropped row drops the whole filter. Stride 1, no padding.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "nn/parameter_store.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/rng.hpp"
+
+namespace fedbiad::nn {
+
+class Conv2D {
+ public:
+  Conv2D(ParameterStore& store, std::string name, std::size_t in_channels,
+         std::size_t out_channels, std::size_t kernel, std::size_t height,
+         std::size_t width, bool droppable = true);
+
+  void init(ParameterStore& store, tensor::Rng& rng) const;
+
+  /// x is (B × C*H*W) row-major images; out becomes (B × F*OH*OW).
+  void forward(const ParameterStore& store, const tensor::Matrix& x,
+               tensor::Matrix& out) const;
+
+  /// Accumulates filter gradients; fills g_in (B × C*H*W) if non-null.
+  void backward(ParameterStore& store, const tensor::Matrix& x,
+                const tensor::Matrix& g_out, tensor::Matrix* g_in) const;
+
+  [[nodiscard]] std::size_t group() const noexcept { return group_; }
+  [[nodiscard]] std::size_t out_height() const noexcept { return oh_; }
+  [[nodiscard]] std::size_t out_width() const noexcept { return ow_; }
+  [[nodiscard]] std::size_t out_size() const noexcept {
+    return out_channels_ * oh_ * ow_;
+  }
+
+ private:
+  std::size_t group_ = 0;
+  std::size_t in_channels_, out_channels_, kernel_, h_, w_, oh_, ow_;
+};
+
+}  // namespace fedbiad::nn

@@ -1,0 +1,90 @@
+#include "nn/dense.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace fedbiad::nn {
+
+Dense::Dense(ParameterStore& store, std::string name, std::size_t in,
+             std::size_t out, GroupKind kind, bool droppable)
+    : in_(in), out_(out) {
+  group_ = store.add_group(std::move(name), kind, out, in + 1, droppable);
+}
+
+void Dense::init(ParameterStore& store, tensor::Rng& rng) const {
+  const float bound =
+      std::sqrt(6.0F / static_cast<float>(in_ + out_));  // Glorot uniform
+  auto w = store.group_params(group_);
+  for (std::size_t o = 0; o < out_; ++o) {
+    float* row = w.data() + o * (in_ + 1);
+    for (std::size_t i = 0; i < in_; ++i) {
+      row[i] = static_cast<float>(rng.uniform(-bound, bound));
+    }
+    row[in_] = 0.0F;
+  }
+}
+
+void Dense::forward(const ParameterStore& store, const tensor::Matrix& x,
+                    tensor::Matrix& out) const {
+  FEDBIAD_CHECK(x.cols() == in_, "dense forward: input width mismatch");
+  out.resize(x.rows(), out_);
+  const float* w = store.group_params(group_).data();
+  const std::size_t stride = in_ + 1;
+  parallel::parallel_for(
+      x.rows(),
+      [&, w](std::size_t b) {
+        const float* xb = x.data() + b * in_;
+        float* ob = out.data() + b * out_;
+        for (std::size_t o = 0; o < out_; ++o) {
+          const float* wr = w + o * stride;
+          float acc = wr[in_];  // bias
+          for (std::size_t i = 0; i < in_; ++i) acc += xb[i] * wr[i];
+          ob[o] = acc;
+        }
+      },
+      out_ * in_);
+}
+
+void Dense::backward(ParameterStore& store, const tensor::Matrix& x,
+                     const tensor::Matrix& g_out, tensor::Matrix* g_in) const {
+  FEDBIAD_CHECK(g_out.rows() == x.rows() && g_out.cols() == out_,
+                "dense backward: gradient shape mismatch");
+  const std::size_t batch = x.rows();
+  const std::size_t stride = in_ + 1;
+  float* dw = store.group_grads(group_).data();
+  // Weight gradient: rows of dW are disjoint across tasks — race-free.
+  parallel::parallel_for(
+      out_,
+      [&, dw](std::size_t o) {
+        float* dwo = dw + o * stride;
+        for (std::size_t b = 0; b < batch; ++b) {
+          const float go = g_out(b, o);
+          if (go == 0.0F) continue;
+          const float* xb = x.data() + b * in_;
+          for (std::size_t i = 0; i < in_; ++i) dwo[i] += go * xb[i];
+          dwo[in_] += go;
+        }
+      },
+      batch * in_);
+  if (g_in == nullptr) return;
+  const float* w = store.group_params(group_).data();
+  g_in->resize(batch, in_);
+  parallel::parallel_for(
+      batch,
+      [&, w](std::size_t b) {
+        const float* gb = g_out.data() + b * out_;
+        float* ib = g_in->data() + b * in_;
+        std::fill(ib, ib + in_, 0.0F);
+        for (std::size_t o = 0; o < out_; ++o) {
+          const float go = gb[o];
+          if (go == 0.0F) continue;
+          const float* wr = w + o * stride;
+          for (std::size_t i = 0; i < in_; ++i) ib[i] += go * wr[i];
+        }
+      },
+      out_ * in_);
+}
+
+}  // namespace fedbiad::nn

@@ -1,0 +1,50 @@
+// Fully connected layer over the flat parameter store.
+//
+// The weight matrix is stored as `out` rows of `in + 1` floats — the bias is
+// the last element of each row, so dropping a weight row drops the whole
+// output unit including its bias (unit-level dropout semantics, and exact
+// 1-row = 1-unit upload accounting).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "nn/parameter_store.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/rng.hpp"
+
+namespace fedbiad::nn {
+
+class Dense {
+ public:
+  /// Unregistered placeholder; assign a registered Dense before use.
+  Dense() = default;
+
+  /// Registers an (out × in+1) row group in `store`.
+  Dense(ParameterStore& store, std::string name, std::size_t in,
+        std::size_t out, GroupKind kind = GroupKind::kDense,
+        bool droppable = true);
+
+  /// Glorot-uniform weight init, zero bias. Call after store.finalize().
+  void init(ParameterStore& store, tensor::Rng& rng) const;
+
+  /// out = x · Wᵀ + b, where x is (B × in) and out becomes (B × out).
+  void forward(const ParameterStore& store, const tensor::Matrix& x,
+               tensor::Matrix& out) const;
+
+  /// Accumulates dW (and db) into store.grads(); if g_in is non-null it is
+  /// resized to (B × in) and filled with the input gradient.
+  void backward(ParameterStore& store, const tensor::Matrix& x,
+                const tensor::Matrix& g_out, tensor::Matrix* g_in) const;
+
+  [[nodiscard]] std::size_t group() const noexcept { return group_; }
+  [[nodiscard]] std::size_t in_dim() const noexcept { return in_; }
+  [[nodiscard]] std::size_t out_dim() const noexcept { return out_; }
+
+ private:
+  std::size_t group_ = 0;
+  std::size_t in_ = 0;
+  std::size_t out_ = 0;
+};
+
+}  // namespace fedbiad::nn

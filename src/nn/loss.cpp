@@ -1,0 +1,74 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace fedbiad::nn {
+
+float softmax_cross_entropy(const tensor::Matrix& logits,
+                            std::span<const std::int32_t> labels,
+                            tensor::Matrix& g_logits) {
+  FEDBIAD_CHECK(labels.size() == logits.rows(),
+                "softmax_cross_entropy: one label per logits row required");
+  const std::size_t cols = logits.cols();
+  g_logits.resize(logits.rows(), cols);
+  std::size_t active = 0;
+  for (const auto l : labels) {
+    if (l >= 0) ++active;
+  }
+  if (active == 0) {
+    g_logits.fill(0.0F);
+    return 0.0F;
+  }
+  const float inv_active = 1.0F / static_cast<float>(active);
+  double loss = 0.0;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const auto label = labels[r];
+    float* g = g_logits.data() + r * cols;
+    if (label < 0) {
+      std::fill(g, g + cols, 0.0F);
+      continue;
+    }
+    const float* z = logits.data() + r * cols;
+    const float mx = *std::max_element(z, z + cols);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) denom += std::exp(z[c] - mx);
+    const float log_denom = static_cast<float>(std::log(denom));
+    loss += log_denom - (z[static_cast<std::size_t>(label)] - mx);
+    const float inv_denom = static_cast<float>(1.0 / denom);
+    for (std::size_t c = 0; c < cols; ++c) {
+      g[c] = std::exp(z[c] - mx) * inv_denom * inv_active;
+    }
+    g[static_cast<std::size_t>(label)] -= inv_active;
+  }
+  return static_cast<float>(loss / static_cast<double>(active));
+}
+
+EvalResult evaluate_logits(const tensor::Matrix& logits,
+                           std::span<const std::int32_t> labels,
+                           std::size_t topk) {
+  FEDBIAD_CHECK(labels.size() == logits.rows(),
+                "evaluate_logits: one label per logits row required");
+  EvalResult out;
+  const std::size_t cols = logits.cols();
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const auto label = labels[r];
+    if (label < 0) continue;
+    const auto lab = static_cast<std::size_t>(label);
+    const float* z = logits.data() + r * cols;
+    const float mx = *std::max_element(z, z + cols);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) denom += std::exp(z[c] - mx);
+    out.loss_sum += std::log(denom) - (z[lab] - mx);
+    ++out.count;
+    const std::span<const float> row{z, cols};
+    if (tensor::argmax(row) == lab) ++out.top1;
+    if (tensor::in_top_k(row, lab, topk)) ++out.topk;
+  }
+  return out;
+}
+
+}  // namespace fedbiad::nn

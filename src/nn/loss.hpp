@@ -1,0 +1,47 @@
+// Softmax cross-entropy loss and classification metrics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/matrix.hpp"
+
+namespace fedbiad::nn {
+
+/// Aggregated evaluation statistics; mergeable across batches and clients.
+struct EvalResult {
+  double loss_sum = 0.0;      ///< summed per-sample cross-entropy
+  std::size_t top1 = 0;       ///< correct top-1 predictions
+  std::size_t topk = 0;       ///< correct top-k predictions (k given by caller)
+  std::size_t count = 0;      ///< samples evaluated
+
+  void merge(const EvalResult& o) {
+    loss_sum += o.loss_sum;
+    top1 += o.top1;
+    topk += o.topk;
+    count += o.count;
+  }
+  [[nodiscard]] double mean_loss() const {
+    return count == 0 ? 0.0 : loss_sum / static_cast<double>(count);
+  }
+  [[nodiscard]] double top1_accuracy() const {
+    return count == 0 ? 0.0 : static_cast<double>(top1) / count;
+  }
+  [[nodiscard]] double topk_accuracy() const {
+    return count == 0 ? 0.0 : static_cast<double>(topk) / count;
+  }
+};
+
+/// Computes mean softmax cross-entropy over rows of `logits` with integer
+/// `labels` (one per row; a negative label means "ignore this row").
+/// Fills `g_logits` with d(mean loss)/d(logits). Returns the mean loss.
+float softmax_cross_entropy(const tensor::Matrix& logits,
+                            std::span<const std::int32_t> labels,
+                            tensor::Matrix& g_logits);
+
+/// Forward-only evaluation: loss plus top-1 / top-k hit counts.
+EvalResult evaluate_logits(const tensor::Matrix& logits,
+                           std::span<const std::int32_t> labels,
+                           std::size_t topk);
+
+}  // namespace fedbiad::nn

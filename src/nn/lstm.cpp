@@ -1,0 +1,199 @@
+#include "nn/lstm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace fedbiad::nn {
+
+namespace {
+
+float sigmoid(float x) { return 1.0F / (1.0F + std::exp(-x)); }
+
+}  // namespace
+
+LstmLayer::LstmLayer(ParameterStore& store, const std::string& name_prefix,
+                     std::size_t in, std::size_t hidden, bool droppable)
+    : in_(in), hidden_(hidden) {
+  group_ = store.add_group(name_prefix + ".unit", GroupKind::kRecurrentUnit,
+                          hidden, row_len(), droppable);
+}
+
+void LstmLayer::init(ParameterStore& store, tensor::Rng& rng) const {
+  const float k = 1.0F / std::sqrt(static_cast<float>(hidden_));
+  auto w = store.group_params(group_);
+  for (std::size_t j = 0; j < hidden_; ++j) {
+    float* row = w.data() + j * row_len();
+    for (std::size_t i = 0; i < row_len(); ++i) {
+      row[i] = static_cast<float>(rng.uniform(-k, k));
+    }
+    for (std::size_t gate = 0; gate < 4; ++gate) {
+      // Forget-gate bias of 1 is the standard trick for stable early
+      // training; other biases start at 0.
+      row[wx_offset(gate) + in_] = gate == 1 ? 1.0F : 0.0F;
+    }
+  }
+}
+
+void LstmLayer::forward(const ParameterStore& store,
+                        const tensor::Matrix& x_seq, std::size_t batch,
+                        std::size_t seq, Cache& cache) const {
+  FEDBIAD_CHECK(x_seq.rows() == batch * seq && x_seq.cols() == in_,
+                "lstm forward: input shape mismatch");
+  const std::size_t H = hidden_;
+  cache.batch = batch;
+  cache.seq = seq;
+  cache.gates.resize(batch * seq, 4 * H);
+  cache.c.resize(batch * seq, H);
+  cache.tanh_c.resize(batch * seq, H);
+  cache.h.resize(batch * seq, H);
+
+  const float* w = store.group_params(group_).data();
+  const std::size_t stride = row_len();
+
+  for (std::size_t t = 0; t < seq; ++t) {
+    const std::size_t base = t * batch;
+    const float* h_prev =
+        t == 0 ? nullptr : cache.h.data() + (t - 1) * batch * H;
+    const float* c_prev =
+        t == 0 ? nullptr : cache.c.data() + (t - 1) * batch * H;
+    parallel::parallel_for(
+        batch,
+        [&, h_prev, c_prev](std::size_t b) {
+          const float* xb = x_seq.data() + (base + b) * in_;
+          const float* hb = h_prev == nullptr ? nullptr : h_prev + b * H;
+          float* gates = cache.gates.data() + (base + b) * 4 * H;
+          float* cb = cache.c.data() + (base + b) * H;
+          float* tcb = cache.tanh_c.data() + (base + b) * H;
+          float* hb_out = cache.h.data() + (base + b) * H;
+          const float* cpb = c_prev == nullptr ? nullptr : c_prev + b * H;
+          for (std::size_t j = 0; j < H; ++j) {
+            const float* row = w + j * stride;
+            float z[4];
+            for (std::size_t gate = 0; gate < 4; ++gate) {
+              const float* wx = row + wx_offset(gate);
+              float acc = wx[in_];  // bias
+              for (std::size_t i = 0; i < in_; ++i) acc += xb[i] * wx[i];
+              if (hb != nullptr) {
+                const float* wh = row + wh_offset(gate);
+                for (std::size_t k = 0; k < H; ++k) acc += hb[k] * wh[k];
+              }
+              z[gate] = acc;
+            }
+            const float gi = sigmoid(z[0]);
+            const float gf = sigmoid(z[1]);
+            const float gg = std::tanh(z[2]);
+            const float go = sigmoid(z[3]);
+            gates[j] = gi;
+            gates[H + j] = gf;
+            gates[2 * H + j] = gg;
+            gates[3 * H + j] = go;
+            const float c_in = cpb == nullptr ? 0.0F : cpb[j];
+            const float c_new = gf * c_in + gi * gg;
+            cb[j] = c_new;
+            const float tc = std::tanh(c_new);
+            tcb[j] = tc;
+            hb_out[j] = go * tc;
+          }
+        },
+        4 * H * (in_ + H));
+  }
+}
+
+void LstmLayer::backward(ParameterStore& store, const tensor::Matrix& x_seq,
+                         const Cache& cache, const tensor::Matrix& g_h,
+                         tensor::Matrix& g_x) const {
+  const std::size_t batch = cache.batch;
+  const std::size_t seq = cache.seq;
+  const std::size_t H = hidden_;
+  FEDBIAD_CHECK(g_h.rows() == batch * seq && g_h.cols() == H,
+                "lstm backward: g_h shape mismatch");
+  g_x.resize(batch * seq, in_);
+
+  const float* w = store.group_params(group_).data();
+  float* dw = store.group_grads(group_).data();
+  const std::size_t stride = row_len();
+  const std::size_t w_size = hidden_ * stride;
+
+  // Batch lanes are independent; weight gradients accumulate into
+  // thread-local buffers merged afterwards (race-free reduction).
+  const std::size_t lanes = batch;
+  std::vector<std::vector<float>> dw_local(lanes);
+
+  parallel::parallel_for(
+      lanes,
+      [&](std::size_t b) {
+        auto& dw_b = dw_local[b];
+        dw_b.assign(w_size, 0.0F);
+        std::vector<float> dh(H, 0.0F);
+        std::vector<float> dc(H, 0.0F);
+        std::vector<float> dz(4 * H);
+        for (std::size_t t = seq; t-- > 0;) {
+          const std::size_t idx = t * batch + b;
+          const float* gates = cache.gates.data() + idx * 4 * H;
+          const float* tc = cache.tanh_c.data() + idx * H;
+          const float* c_prev =
+              t == 0 ? nullptr : cache.c.data() + ((t - 1) * batch + b) * H;
+          const float* h_prev =
+              t == 0 ? nullptr : cache.h.data() + ((t - 1) * batch + b) * H;
+          const float* gh = g_h.data() + idx * H;
+          for (std::size_t j = 0; j < H; ++j) {
+            const float gi = gates[j];
+            const float gf = gates[H + j];
+            const float gg = gates[2 * H + j];
+            const float go = gates[3 * H + j];
+            const float dh_total = dh[j] + gh[j];
+            const float dct = dc[j] + dh_total * go * (1.0F - tc[j] * tc[j]);
+            const float c_in = c_prev == nullptr ? 0.0F : c_prev[j];
+            dz[j] = dct * gg * gi * (1.0F - gi);                  // d pre-i
+            dz[H + j] = dct * c_in * gf * (1.0F - gf);            // d pre-f
+            dz[2 * H + j] = dct * gi * (1.0F - gg * gg);          // d pre-g
+            dz[3 * H + j] = dh_total * tc[j] * go * (1.0F - go);  // d pre-o
+            dc[j] = dct * gf;
+          }
+          const float* xb = x_seq.data() + idx * in_;
+          float* gxb = g_x.data() + idx * in_;
+          std::fill(gxb, gxb + in_, 0.0F);
+          std::fill(dh.begin(), dh.end(), 0.0F);
+          for (std::size_t j = 0; j < H; ++j) {
+            const float* row = w + j * stride;
+            float* drow = dw_b.data() + j * stride;
+            for (std::size_t gate = 0; gate < 4; ++gate) {
+              const float dzr = dz[gate * H + j];
+              if (dzr == 0.0F) continue;
+              const float* wx = row + wx_offset(gate);
+              float* dwx = drow + wx_offset(gate);
+              for (std::size_t i = 0; i < in_; ++i) {
+                dwx[i] += dzr * xb[i];
+                gxb[i] += dzr * wx[i];
+              }
+              dwx[in_] += dzr;  // bias
+              const float* wh = row + wh_offset(gate);
+              if (h_prev != nullptr) {
+                float* dwh = drow + wh_offset(gate);
+                for (std::size_t k = 0; k < H; ++k) {
+                  dwh[k] += dzr * h_prev[k];
+                  dh[k] += dzr * wh[k];
+                }
+              } else {
+                for (std::size_t k = 0; k < H; ++k) dh[k] += dzr * wh[k];
+              }
+            }
+          }
+        }
+      },
+      seq * 4 * H * (in_ + H));
+
+  parallel::parallel_for(
+      w_size,
+      [&](std::size_t i) {
+        float acc = 0.0F;
+        for (std::size_t b = 0; b < lanes; ++b) acc += dw_local[b][i];
+        dw[i] += acc;
+      },
+      lanes);
+}
+
+}  // namespace fedbiad::nn

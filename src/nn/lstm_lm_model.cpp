@@ -1,0 +1,75 @@
+#include "nn/lstm_lm_model.hpp"
+
+#include "common/check.hpp"
+
+namespace fedbiad::nn {
+
+LstmLmModel::LstmLmModel(const LstmLmConfig& cfg)
+    : cfg_(cfg), embed_(store_, "embed", cfg.vocab, cfg.embed) {
+  FEDBIAD_CHECK(cfg.layers >= 1, "LSTM LM needs at least one layer");
+  lstm_.reserve(cfg.layers);
+  for (std::size_t l = 0; l < cfg.layers; ++l) {
+    const std::size_t in = l == 0 ? cfg.embed : cfg.hidden;
+    lstm_.emplace_back(store_, "lstm" + std::to_string(l), in, cfg.hidden);
+  }
+  // The output projection is constructed last so that its rows sit at the
+  // end of the flat vector; nothing depends on this, it just reads well in
+  // parameter dumps.
+  out_ = Dense(store_, "out", cfg.hidden, cfg.vocab);
+  store_.finalize();
+  caches_.resize(cfg.layers);
+}
+
+void LstmLmModel::init_params(tensor::Rng& rng) {
+  embed_.init(store_, rng);
+  for (const auto& l : lstm_) l.init(store_, rng);
+  out_.init(store_, rng);
+}
+
+void LstmLmModel::forward(const data::Batch& batch) {
+  FEDBIAD_CHECK(batch.is_text(), "LstmLmModel expects text batches");
+  const std::size_t B = batch.batch;
+  const std::size_t T = batch.seq;
+  FEDBIAD_CHECK(batch.tokens.size() == B * T &&
+                    batch.targets.size() == B * T,
+                "token/target layout mismatch");
+  // Sample-major (b, t) → time-major (t, b).
+  tokens_tm_.resize(B * T);
+  targets_tm_.resize(B * T);
+  for (std::size_t b = 0; b < B; ++b) {
+    for (std::size_t t = 0; t < T; ++t) {
+      tokens_tm_[t * B + b] = batch.tokens[b * T + t];
+      targets_tm_[t * B + b] = batch.targets[b * T + t];
+    }
+  }
+  embed_.forward(store_, tokens_tm_, x_embed_);
+  const tensor::Matrix* x = &x_embed_;
+  for (std::size_t l = 0; l < lstm_.size(); ++l) {
+    lstm_[l].forward(store_, *x, B, T, caches_[l]);
+    x = &caches_[l].h;
+  }
+  out_.forward(store_, *x, logits_);
+}
+
+float LstmLmModel::train_step(const data::Batch& batch) {
+  store_.zero_grads();
+  forward(batch);
+  const float loss = softmax_cross_entropy(logits_, targets_tm_, g_logits_);
+  const tensor::Matrix& top_h = caches_.back().h;
+  out_.backward(store_, top_h, g_logits_, &g_h_);
+  for (std::size_t l = lstm_.size(); l-- > 0;) {
+    const tensor::Matrix& x_in = l == 0 ? x_embed_ : caches_[l - 1].h;
+    lstm_[l].backward(store_, x_in, caches_[l], g_h_, g_x_);
+    g_h_ = g_x_;
+  }
+  embed_.backward(store_, tokens_tm_, g_h_);
+  return loss;
+}
+
+EvalResult LstmLmModel::eval_batch(const data::Batch& batch,
+                                   std::size_t topk) {
+  forward(batch);
+  return evaluate_logits(logits_, targets_tm_, topk);
+}
+
+}  // namespace fedbiad::nn

@@ -1,0 +1,44 @@
+#include "nn/mlp_model.hpp"
+
+#include "common/check.hpp"
+
+namespace fedbiad::nn {
+
+MlpModel::MlpModel(const MlpConfig& cfg)
+    : cfg_(cfg),
+      fc1_(store_, "fc1", cfg.input, cfg.hidden),
+      fc2_(store_, "fc2", cfg.hidden, cfg.classes) {
+  store_.finalize();
+}
+
+void MlpModel::init_params(tensor::Rng& rng) {
+  fc1_.init(store_, rng);
+  fc2_.init(store_, rng);
+}
+
+void MlpModel::forward(const data::Batch& batch) {
+  FEDBIAD_CHECK(!batch.is_text(), "MlpModel expects image batches");
+  fc1_.forward(store_, batch.x, pre1_);
+  act1_ = pre1_;
+  for (auto& v : act1_.flat()) v = v > 0.0F ? v : 0.0F;  // ReLU
+  fc2_.forward(store_, act1_, logits_);
+}
+
+float MlpModel::train_step(const data::Batch& batch) {
+  store_.zero_grads();
+  forward(batch);
+  const float loss = softmax_cross_entropy(logits_, batch.targets, g_logits_);
+  fc2_.backward(store_, act1_, g_logits_, &g_act1_);
+  for (std::size_t i = 0; i < g_act1_.size(); ++i) {
+    if (pre1_.flat()[i] <= 0.0F) g_act1_.flat()[i] = 0.0F;  // ReLU'
+  }
+  fc1_.backward(store_, batch.x, g_act1_, nullptr);
+  return loss;
+}
+
+EvalResult MlpModel::eval_batch(const data::Batch& batch, std::size_t topk) {
+  forward(batch);
+  return evaluate_logits(logits_, batch.targets, topk);
+}
+
+}  // namespace fedbiad::nn

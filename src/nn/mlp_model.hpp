@@ -1,0 +1,39 @@
+// The paper's image-classification model (§V-A): a fully connected network
+// with one hidden ReLU layer and a softmax output, 128 hidden units for
+// MNIST and 256 for FMNIST.
+#pragma once
+
+#include "nn/dense.hpp"
+#include "nn/model.hpp"
+
+namespace fedbiad::nn {
+
+struct MlpConfig {
+  std::size_t input = 784;
+  std::size_t hidden = 128;
+  std::size_t classes = 10;
+};
+
+class MlpModel final : public Model {
+ public:
+  explicit MlpModel(const MlpConfig& cfg);
+
+  void init_params(tensor::Rng& rng) override;
+  float train_step(const data::Batch& batch) override;
+  EvalResult eval_batch(const data::Batch& batch, std::size_t topk) override;
+
+  [[nodiscard]] const MlpConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::size_t fc1_group() const noexcept { return fc1_.group(); }
+  [[nodiscard]] std::size_t fc2_group() const noexcept { return fc2_.group(); }
+
+ private:
+  void forward(const data::Batch& batch);
+
+  MlpConfig cfg_;
+  Dense fc1_;
+  Dense fc2_;
+  // Scratch buffers reused across steps to avoid per-batch allocation.
+  tensor::Matrix pre1_, act1_, logits_, g_logits_, g_act1_;
+};
+
+}  // namespace fedbiad::nn

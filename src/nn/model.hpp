@@ -1,0 +1,42 @@
+// Abstract model interface used by the federated-learning engine.
+//
+// A Model owns its ParameterStore; the FL strategies manipulate the flat
+// parameter/gradient vectors (loading global weights, masking rows, taking
+// SGD steps) and only call back into the model for forward/backward passes.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "data/batch.hpp"
+#include "nn/loss.hpp"
+#include "nn/parameter_store.hpp"
+#include "tensor/rng.hpp"
+
+namespace fedbiad::nn {
+
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  [[nodiscard]] ParameterStore& store() noexcept { return store_; }
+  [[nodiscard]] const ParameterStore& store() const noexcept { return store_; }
+
+  /// Fresh random initialization of all parameters.
+  virtual void init_params(tensor::Rng& rng) = 0;
+
+  /// Zeroes gradients, runs forward + backward on `batch`, accumulates
+  /// gradients into the store, and returns the mean training loss.
+  virtual float train_step(const data::Batch& batch) = 0;
+
+  /// Forward-only evaluation with top-1 and top-`topk` accuracy counting.
+  virtual EvalResult eval_batch(const data::Batch& batch, std::size_t topk) = 0;
+
+ protected:
+  ParameterStore store_;
+};
+
+/// Factory so the FL engine can build one model replica per worker thread.
+using ModelFactory = std::function<std::unique_ptr<Model>()>;
+
+}  // namespace fedbiad::nn

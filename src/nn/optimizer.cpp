@@ -1,0 +1,25 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace fedbiad::nn {
+
+double sgd_step(ParameterStore& store, const SgdConfig& cfg) {
+  auto grads = store.grads();
+  auto params = store.params();
+  const double norm = std::sqrt(tensor::squared_norm(grads));
+  float scale = 1.0F;
+  if (cfg.clip_norm > 0.0F && norm > cfg.clip_norm) {
+    scale = static_cast<float>(cfg.clip_norm / norm);
+  }
+  const float lr = cfg.lr;
+  const float wd = cfg.weight_decay;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i] -= lr * (scale * grads[i] + wd * params[i]);
+  }
+  return norm;
+}
+
+}  // namespace fedbiad::nn

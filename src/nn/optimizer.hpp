@@ -1,0 +1,24 @@
+// Local optimizer: SGD with optional global-norm gradient clipping and L2
+// weight decay.
+//
+// The weight-decay term is the practical stand-in for the KL term of the
+// variational objective (paper eq. 2: "The second item ... has been proven
+// to approximate L2 regularisation").
+#pragma once
+
+#include "nn/parameter_store.hpp"
+
+namespace fedbiad::nn {
+
+struct SgdConfig {
+  float lr = 0.1F;            ///< learning rate η (paper eq. 7)
+  float weight_decay = 0.0F;  ///< KL-as-L2 coefficient
+  float clip_norm = 0.0F;     ///< global grad-norm clip; 0 disables
+};
+
+/// Applies one SGD step: params -= lr * (grads + weight_decay * params),
+/// after clipping the global gradient norm if configured.
+/// Returns the pre-clip gradient norm (useful for diagnostics).
+double sgd_step(ParameterStore& store, const SgdConfig& cfg);
+
+}  // namespace fedbiad::nn

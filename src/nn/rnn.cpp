@@ -1,0 +1,136 @@
+#include "nn/rnn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace fedbiad::nn {
+
+RnnLayer::RnnLayer(ParameterStore& store, const std::string& name_prefix,
+                   std::size_t in, std::size_t hidden, bool droppable)
+    : in_(in), hidden_(hidden) {
+  group_ = store.add_group(name_prefix + ".unit", GroupKind::kRecurrentUnit,
+                          hidden, row_len(), droppable);
+}
+
+void RnnLayer::init(ParameterStore& store, tensor::Rng& rng) const {
+  const float k = 1.0F / std::sqrt(static_cast<float>(hidden_));
+  auto w = store.group_params(group_);
+  for (std::size_t j = 0; j < hidden_; ++j) {
+    float* row = w.data() + j * row_len();
+    for (std::size_t i = 0; i < row_len(); ++i) {
+      row[i] = static_cast<float>(rng.uniform(-k, k));
+    }
+    row[bias_offset()] = 0.0F;
+  }
+}
+
+void RnnLayer::forward(const ParameterStore& store,
+                       const tensor::Matrix& x_seq, std::size_t batch,
+                       std::size_t seq, Cache& cache) const {
+  FEDBIAD_CHECK(x_seq.rows() == batch * seq && x_seq.cols() == in_,
+                "rnn forward: input shape mismatch");
+  const std::size_t H = hidden_;
+  cache.batch = batch;
+  cache.seq = seq;
+  cache.h.resize(batch * seq, H);
+  const float* w = store.group_params(group_).data();
+  for (std::size_t t = 0; t < seq; ++t) {
+    const std::size_t base = t * batch;
+    const float* h_prev =
+        t == 0 ? nullptr : cache.h.data() + (t - 1) * batch * H;
+    parallel::parallel_for(
+        batch,
+        [&, h_prev](std::size_t b) {
+          const float* xb = x_seq.data() + (base + b) * in_;
+          const float* hb = h_prev == nullptr ? nullptr : h_prev + b * H;
+          float* out = cache.h.data() + (base + b) * H;
+          for (std::size_t j = 0; j < H; ++j) {
+            const float* row = w + j * row_len();
+            float acc = row[bias_offset()];
+            for (std::size_t i = 0; i < in_; ++i) acc += xb[i] * row[i];
+            if (hb != nullptr) {
+              const float* wh = row + wh_offset();
+              for (std::size_t k = 0; k < H; ++k) acc += hb[k] * wh[k];
+            }
+            out[j] = std::tanh(acc);
+          }
+        },
+        H * (in_ + H));
+  }
+}
+
+void RnnLayer::backward(ParameterStore& store, const tensor::Matrix& x_seq,
+                        const Cache& cache, const tensor::Matrix& g_h,
+                        tensor::Matrix& g_x) const {
+  const std::size_t batch = cache.batch;
+  const std::size_t seq = cache.seq;
+  const std::size_t H = hidden_;
+  FEDBIAD_CHECK(g_h.rows() == batch * seq && g_h.cols() == H,
+                "rnn backward: g_h shape mismatch");
+  g_x.resize(batch * seq, in_);
+
+  const float* w = store.group_params(group_).data();
+  float* dw = store.group_grads(group_).data();
+  const std::size_t stride = row_len();
+  const std::size_t w_size = hidden_ * stride;
+  std::vector<std::vector<float>> dw_local(batch);
+
+  parallel::parallel_for(
+      batch,
+      [&](std::size_t b) {
+        auto& dw_b = dw_local[b];
+        dw_b.assign(w_size, 0.0F);
+        std::vector<float> dh(H, 0.0F);
+        std::vector<float> dz(H);
+        for (std::size_t t = seq; t-- > 0;) {
+          const std::size_t idx = t * batch + b;
+          const float* h = cache.h.data() + idx * H;
+          const float* h_prev =
+              t == 0 ? nullptr : cache.h.data() + ((t - 1) * batch + b) * H;
+          const float* gh = g_h.data() + idx * H;
+          for (std::size_t j = 0; j < H; ++j) {
+            dz[j] = (dh[j] + gh[j]) * (1.0F - h[j] * h[j]);  // tanh'
+          }
+          const float* xb = x_seq.data() + idx * in_;
+          float* gxb = g_x.data() + idx * in_;
+          std::fill(gxb, gxb + in_, 0.0F);
+          std::fill(dh.begin(), dh.end(), 0.0F);
+          for (std::size_t j = 0; j < H; ++j) {
+            const float dzj = dz[j];
+            if (dzj == 0.0F) continue;
+            const float* row = w + j * stride;
+            float* drow = dw_b.data() + j * stride;
+            for (std::size_t i = 0; i < in_; ++i) {
+              drow[i] += dzj * xb[i];
+              gxb[i] += dzj * row[i];
+            }
+            drow[bias_offset()] += dzj;
+            const float* wh = row + wh_offset();
+            if (h_prev != nullptr) {
+              float* dwh = drow + wh_offset();
+              for (std::size_t k = 0; k < H; ++k) {
+                dwh[k] += dzj * h_prev[k];
+                dh[k] += dzj * wh[k];
+              }
+            } else {
+              for (std::size_t k = 0; k < H; ++k) dh[k] += dzj * wh[k];
+            }
+          }
+        }
+      },
+      seq * H * (in_ + H));
+
+  parallel::parallel_for(
+      w_size,
+      [&](std::size_t i) {
+        float acc = 0.0F;
+        for (std::size_t b = 0; b < batch; ++b) acc += dw_local[b][i];
+        dw[i] += acc;
+      },
+      batch);
+}
+
+}  // namespace fedbiad::nn

@@ -1,0 +1,59 @@
+// Vanilla (Elman) RNN layer — the exact recurrent model of the paper's
+// §III-A formalism: h_l = ϱ(Wx·x_l + Wh·h_{l-1}) with tanh activation ϱ.
+//
+// Like the LSTM, weight rows are unit-granular: row j holds unit j's input
+// weights, bias, and recurrent weights (row_len = in + 1 + H), so dropping
+// row j makes h_j = tanh(0) = 0 at every step — the row ⇔ activation
+// equivalence of §III-C, in the precise architecture Theorem 1's RNN branch
+// analyzes. Sequences are time-major ((seq*batch) × dim, block per step).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "nn/parameter_store.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/rng.hpp"
+
+namespace fedbiad::nn {
+
+class RnnLayer {
+ public:
+  RnnLayer(ParameterStore& store, const std::string& name_prefix,
+           std::size_t in, std::size_t hidden, bool droppable = true);
+
+  /// Uniform(-k, k) init with k = 1/sqrt(hidden), zero bias.
+  void init(ParameterStore& store, tensor::Rng& rng) const;
+
+  struct Cache {
+    std::size_t batch = 0;
+    std::size_t seq = 0;
+    tensor::Matrix h;  ///< (seq*batch × H) post-tanh hidden states
+  };
+
+  void forward(const ParameterStore& store, const tensor::Matrix& x_seq,
+               std::size_t batch, std::size_t seq, Cache& cache) const;
+
+  /// BPTT; accumulates weight grads, fills g_x with the input gradient.
+  void backward(ParameterStore& store, const tensor::Matrix& x_seq,
+                const Cache& cache, const tensor::Matrix& g_h,
+                tensor::Matrix& g_x) const;
+
+  [[nodiscard]] std::size_t group() const noexcept { return group_; }
+  [[nodiscard]] std::size_t in_dim() const noexcept { return in_; }
+  [[nodiscard]] std::size_t hidden() const noexcept { return hidden_; }
+  /// Offset of the bias inside a unit row.
+  [[nodiscard]] std::size_t bias_offset() const noexcept { return in_; }
+  /// Offset of the recurrent-weight block inside a unit row.
+  [[nodiscard]] std::size_t wh_offset() const noexcept { return in_ + 1; }
+  [[nodiscard]] std::size_t row_len() const noexcept {
+    return in_ + 1 + hidden_;
+  }
+
+ private:
+  std::size_t group_ = 0;
+  std::size_t in_ = 0;
+  std::size_t hidden_ = 0;
+};
+
+}  // namespace fedbiad::nn

@@ -1,0 +1,39 @@
+#include "tensor/matrix.hpp"
+
+#include "common/check.hpp"
+#include "tensor/rng.hpp"
+
+namespace fedbiad::tensor {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+float& Matrix::at(std::size_t r, std::size_t c) {
+  FEDBIAD_CHECK(r < rows_ && c < cols_, "matrix index out of range");
+  return (*this)(r, c);
+}
+
+float Matrix::at(std::size_t r, std::size_t c) const {
+  FEDBIAD_CHECK(r < rows_ && c < cols_, "matrix index out of range");
+  return (*this)(r, c);
+}
+
+void Matrix::fill(float value) {
+  for (auto& x : data_) x = value;
+}
+
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
+void Matrix::fill_normal(Rng& rng, float mean, float stddev) {
+  for (auto& x : data_) x = static_cast<float>(rng.normal(mean, stddev));
+}
+
+void Matrix::fill_uniform(Rng& rng, float lo, float hi) {
+  for (auto& x : data_) x = static_cast<float>(rng.uniform(lo, hi));
+}
+
+}  // namespace fedbiad::tensor

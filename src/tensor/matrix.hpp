@@ -1,0 +1,69 @@
+// Row-major dense float matrix: the single tensor type used by the NN
+// substrate. Contiguous storage keeps parameter flattening, row-wise
+// dropout masks, and GEMM kernels simple and cache-friendly.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fedbiad::tensor {
+
+class Rng;
+
+/// Dense row-major matrix of float. A (rows × 0) or (0 × cols) matrix is a
+/// valid empty matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0F);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  /// Unchecked element access (debug-checked via at()).
+  float& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked element access.
+  float& at(std::size_t r, std::size_t c);
+  float at(std::size_t r, std::size_t c) const;
+
+  /// Non-owning view of row `r`.
+  [[nodiscard]] std::span<float> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const float> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] std::span<float> flat() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> flat() const noexcept { return data_; }
+  [[nodiscard]] float* data() noexcept { return data_.data(); }
+  [[nodiscard]] const float* data() const noexcept { return data_.data(); }
+
+  /// Sets every element to `value`.
+  void fill(float value);
+
+  /// Resizes to (rows × cols); contents become unspecified unless `fill`d.
+  void resize(std::size_t rows, std::size_t cols);
+
+  /// Fills with N(mean, stddev) draws.
+  void fill_normal(Rng& rng, float mean, float stddev);
+
+  /// Fills with U[lo, hi) draws.
+  void fill_uniform(Rng& rng, float lo, float hi);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace fedbiad::tensor

@@ -1,0 +1,146 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace fedbiad::tensor {
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  FEDBIAD_DCHECK(x.size() == y.size(), "axpy size mismatch");
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void copy(std::span<const float> x, std::span<float> y) {
+  FEDBIAD_DCHECK(x.size() == y.size(), "copy size mismatch");
+  std::copy(x.begin(), x.end(), y.begin());
+}
+
+void scale(std::span<float> x, float alpha) {
+  for (auto& v : x) v *= alpha;
+}
+
+void fill(std::span<float> x, float value) {
+  std::fill(x.begin(), x.end(), value);
+}
+
+double dot(std::span<const float> a, std::span<const float> b) {
+  FEDBIAD_DCHECK(a.size() == b.size(), "dot size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+double squared_norm(std::span<const float> x) { return dot(x, x); }
+
+double sum(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) acc += v;
+  return acc;
+}
+
+void matmul_xwt(const Matrix& x, const Matrix& w, Matrix& out) {
+  FEDBIAD_CHECK(x.cols() == w.cols(), "matmul_xwt inner dimension mismatch");
+  out.resize(x.rows(), w.rows());
+  const std::size_t in = x.cols();
+  const std::size_t flops_per_row = w.rows() * in;
+  parallel::parallel_for(
+      x.rows(),
+      [&](std::size_t b) {
+        const float* xb = x.data() + b * in;
+        float* ob = out.data() + b * w.rows();
+        for (std::size_t o = 0; o < w.rows(); ++o) {
+          const float* wr = w.data() + o * in;
+          float acc = 0.0F;
+          for (std::size_t i = 0; i < in; ++i) acc += xb[i] * wr[i];
+          ob[o] = acc;
+        }
+      },
+      flops_per_row);
+}
+
+void matmul_gw(const Matrix& g, const Matrix& w, Matrix& out) {
+  FEDBIAD_CHECK(g.cols() == w.rows(), "matmul_gw inner dimension mismatch");
+  out.resize(g.rows(), w.cols());
+  const std::size_t in = w.cols();
+  const std::size_t flops_per_row = g.cols() * in;
+  parallel::parallel_for(
+      g.rows(),
+      [&](std::size_t b) {
+        const float* gb = g.data() + b * g.cols();
+        float* ob = out.data() + b * in;
+        std::fill(ob, ob + in, 0.0F);
+        for (std::size_t o = 0; o < g.cols(); ++o) {
+          const float go = gb[o];
+          if (go == 0.0F) continue;
+          const float* wr = w.data() + o * in;
+          for (std::size_t i = 0; i < in; ++i) ob[i] += go * wr[i];
+        }
+      },
+      flops_per_row);
+}
+
+void accumulate_gtx(const Matrix& g, const Matrix& x, Matrix& dw) {
+  FEDBIAD_CHECK(g.rows() == x.rows(), "accumulate_gtx batch mismatch");
+  FEDBIAD_CHECK(dw.rows() == g.cols() && dw.cols() == x.cols(),
+                "accumulate_gtx output shape mismatch");
+  const std::size_t in = x.cols();
+  const std::size_t batch = g.rows();
+  // Parallelize over output rows: each task owns disjoint rows of dw, so the
+  // accumulation is race-free without atomics.
+  parallel::parallel_for(
+      dw.rows(),
+      [&](std::size_t o) {
+        float* dwo = dw.data() + o * in;
+        for (std::size_t b = 0; b < batch; ++b) {
+          const float go = g(b, o);
+          if (go == 0.0F) continue;
+          const float* xb = x.data() + b * in;
+          for (std::size_t i = 0; i < in; ++i) dwo[i] += go * xb[i];
+        }
+      },
+      batch * in);
+}
+
+void softmax_rows(Matrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    auto row = m.row(r);
+    const float mx = *std::max_element(row.begin(), row.end());
+    float denom = 0.0F;
+    for (auto& v : row) {
+      v = std::exp(v - mx);
+      denom += v;
+    }
+    const float inv = 1.0F / denom;
+    for (auto& v : row) v *= inv;
+  }
+}
+
+std::size_t argmax(std::span<const float> x) {
+  FEDBIAD_DCHECK(!x.empty(), "argmax of empty span");
+  return static_cast<std::size_t>(
+      std::max_element(x.begin(), x.end()) - x.begin());
+}
+
+bool in_top_k(std::span<const float> x, std::size_t label, std::size_t k) {
+  FEDBIAD_DCHECK(label < x.size(), "label out of range");
+  const float v = x[label];
+  std::size_t strictly_greater = 0;
+  std::size_t equal_before = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > v) {
+      ++strictly_greater;
+    } else if (x[i] == v && i < label) {
+      ++equal_before;
+    }
+    if (strictly_greater + equal_before >= k) return false;
+  }
+  return strictly_greater + equal_before < k;
+}
+
+}  // namespace fedbiad::tensor

@@ -1,0 +1,674 @@
+// Unit tests for the NN substrate: parameter store, layer forward/backward
+// correctness (finite-difference gradient checks), loss, optimizer, models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "data/batch.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/conv_model.hpp"
+#include "nn/dense.hpp"
+#include "nn/embedding.hpp"
+#include "nn/loss.hpp"
+#include "nn/lstm.hpp"
+#include "nn/lstm_lm_model.hpp"
+#include "nn/mlp_model.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/rnn.hpp"
+#include "tensor/ops.hpp"
+
+namespace fedbiad::nn {
+namespace {
+
+using tensor::Matrix;
+using tensor::Rng;
+
+TEST(ParameterStore, GroupRegistrationAndOffsets) {
+  ParameterStore store;
+  const auto g0 = store.add_group("a", GroupKind::kDense, 4, 5, true);
+  const auto g1 = store.add_group("b", GroupKind::kEmbedding, 3, 2, false);
+  const auto g2 = store.add_group("c", GroupKind::kRecurrentHidden, 2, 2, true);
+  store.finalize();
+  EXPECT_EQ(store.size(), 4u * 5 + 3u * 2 + 2u * 2);
+  EXPECT_EQ(store.group(g0).offset, 0u);
+  EXPECT_EQ(store.group(g1).offset, 20u);
+  EXPECT_EQ(store.group(g2).offset, 26u);
+  EXPECT_EQ(store.droppable_rows(), 4u + 2u);  // groups a and c
+}
+
+TEST(ParameterStore, DroppableRowRoundTrip) {
+  ParameterStore store;
+  store.add_group("a", GroupKind::kDense, 4, 5, true);
+  store.add_group("b", GroupKind::kEmbedding, 3, 2, false);
+  store.add_group("c", GroupKind::kRecurrentInput, 2, 2, true);
+  store.finalize();
+  for (std::size_t j = 0; j < store.droppable_rows(); ++j) {
+    const auto ref = store.droppable_row(j);
+    EXPECT_EQ(store.droppable_index(ref.group, ref.row), j);
+  }
+  EXPECT_THROW((void)store.droppable_row(6), fedbiad::CheckError);
+  EXPECT_THROW((void)store.droppable_index(1, 0), fedbiad::CheckError);
+}
+
+TEST(ParameterStore, RowSpansAreDisjointAndOrdered) {
+  ParameterStore store;
+  store.add_group("a", GroupKind::kDense, 3, 4, true);
+  store.finalize();
+  auto r0 = store.row_params(0, 0);
+  auto r2 = store.row_params(0, 2);
+  EXPECT_EQ(r0.size(), 4u);
+  EXPECT_EQ(r2.data() - r0.data(), 8);
+}
+
+TEST(ParameterStore, FinalizeGuards) {
+  ParameterStore store;
+  EXPECT_THROW(store.finalize(), fedbiad::CheckError);  // empty
+  store.add_group("a", GroupKind::kDense, 1, 1, true);
+  store.finalize();
+  EXPECT_THROW(store.add_group("b", GroupKind::kDense, 1, 1, true),
+               fedbiad::CheckError);
+  EXPECT_THROW(store.finalize(), fedbiad::CheckError);  // twice
+}
+
+TEST(ParameterStore, ZeroGradsClears) {
+  ParameterStore store;
+  store.add_group("a", GroupKind::kDense, 2, 2, true);
+  store.finalize();
+  store.grads()[1] = 3.0F;
+  store.zero_grads();
+  for (float g : store.grads()) EXPECT_FLOAT_EQ(g, 0.0F);
+}
+
+// ---- finite-difference gradient checking ----------------------------------
+
+// Scalar loss L = <R, output> for a fixed random R gives deterministic
+// gradients g_out = R to feed backward.
+void expect_grad_close(double analytic, double numeric, double atol,
+                       double rtol, const std::string& what) {
+  EXPECT_NEAR(analytic, numeric,
+              atol + rtol * std::max(std::abs(analytic), std::abs(numeric)))
+      << what;
+}
+
+TEST(Dense, GradientCheck) {
+  ParameterStore store;
+  Dense layer(store, "fc", 5, 4);
+  store.finalize();
+  Rng rng(7);
+  layer.init(store, rng);
+  // Give biases nonzero values so their gradient path is exercised.
+  for (std::size_t o = 0; o < 4; ++o) {
+    store.row_params(0, o)[5] = static_cast<float>(rng.uniform(-0.5, 0.5));
+  }
+
+  Matrix x(3, 5);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Matrix r(3, 4);
+  r.fill_uniform(rng, -1.0F, 1.0F);
+
+  auto loss = [&] {
+    Matrix out;
+    layer.forward(store, x, out);
+    return tensor::dot(r.flat(), out.flat());
+  };
+
+  store.zero_grads();
+  Matrix out, g_in;
+  layer.forward(store, x, out);
+  layer.backward(store, x, r, &g_in);
+
+  const float eps = 1e-2F;
+  auto params = store.params();
+  auto grads = store.grads();
+  for (std::size_t i = 0; i < params.size(); i += 3) {
+    const float saved = params[i];
+    params[i] = saved + eps;
+    const double up = loss();
+    params[i] = saved - eps;
+    const double down = loss();
+    params[i] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    expect_grad_close(grads[i], numeric, 1e-3, 2e-2,
+                      "param " + std::to_string(i));
+  }
+  // Input gradient check.
+  for (std::size_t i = 0; i < x.size(); i += 2) {
+    const float saved = x.flat()[i];
+    x.flat()[i] = saved + eps;
+    const double up = loss();
+    x.flat()[i] = saved - eps;
+    const double down = loss();
+    x.flat()[i] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    expect_grad_close(g_in.flat()[i], numeric, 1e-3, 2e-2,
+                      "input " + std::to_string(i));
+  }
+}
+
+TEST(Embedding, ForwardLooksUpRows) {
+  ParameterStore store;
+  Embedding emb(store, "e", 5, 3);
+  store.finalize();
+  auto table = store.group_params(emb.group());
+  std::iota(table.begin(), table.end(), 0.0F);
+  std::vector<std::int32_t> tokens{2, 0, 4};
+  Matrix out;
+  emb.forward(store, tokens, out);
+  EXPECT_FLOAT_EQ(out(0, 0), 6.0F);
+  EXPECT_FLOAT_EQ(out(0, 2), 8.0F);
+  EXPECT_FLOAT_EQ(out(1, 0), 0.0F);
+  EXPECT_FLOAT_EQ(out(2, 1), 13.0F);
+}
+
+TEST(Embedding, BackwardScatterAddsRepeatedTokens) {
+  ParameterStore store;
+  Embedding emb(store, "e", 4, 2);
+  store.finalize();
+  std::vector<std::int32_t> tokens{1, 1, 3};
+  Matrix g(3, 2);
+  g(0, 0) = 1.0F;
+  g(1, 0) = 2.0F;
+  g(2, 1) = 5.0F;
+  emb.backward(store, tokens, g);
+  auto grads = store.group_grads(emb.group());
+  EXPECT_FLOAT_EQ(grads[1 * 2 + 0], 3.0F);  // token 1 accumulated twice
+  EXPECT_FLOAT_EQ(grads[3 * 2 + 1], 5.0F);
+  EXPECT_FLOAT_EQ(grads[0], 0.0F);
+}
+
+TEST(Lstm, ForwardShapesAndDeterminism) {
+  ParameterStore store;
+  LstmLayer lstm(store, "l", 3, 4);
+  store.finalize();
+  Rng rng(9);
+  lstm.init(store, rng);
+  Matrix x(2 * 5, 3);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  LstmLayer::Cache c1, c2;
+  lstm.forward(store, x, 5, 2, c1);
+  lstm.forward(store, x, 5, 2, c2);
+  ASSERT_EQ(c1.h.rows(), 10u);
+  ASSERT_EQ(c1.h.cols(), 4u);
+  for (std::size_t i = 0; i < c1.h.size(); ++i) {
+    EXPECT_FLOAT_EQ(c1.h.flat()[i], c2.h.flat()[i]);
+  }
+}
+
+TEST(Lstm, HiddenStateStaysBounded) {
+  // tanh output gate bounds |h| ≤ 1 regardless of weights.
+  ParameterStore store;
+  LstmLayer lstm(store, "l", 2, 3);
+  store.finalize();
+  Rng rng(11);
+  for (auto& v : store.params()) v = static_cast<float>(rng.uniform(-3, 3));
+  Matrix x(4 * 8, 2);
+  x.fill_uniform(rng, -5.0F, 5.0F);
+  LstmLayer::Cache cache;
+  lstm.forward(store, x, 4, 8, cache);
+  for (float h : cache.h.flat()) {
+    EXPECT_LE(std::abs(h), 1.0F);
+  }
+}
+
+TEST(Lstm, GradientCheck) {
+  ParameterStore store;
+  LstmLayer lstm(store, "l", 3, 4);
+  store.finalize();
+  Rng rng(13);
+  lstm.init(store, rng);
+
+  const std::size_t batch = 2, seq = 3;
+  Matrix x(batch * seq, 3);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Matrix r(batch * seq, 4);
+  r.fill_uniform(rng, -1.0F, 1.0F);
+
+  auto loss = [&] {
+    LstmLayer::Cache cache;
+    lstm.forward(store, x, batch, seq, cache);
+    return tensor::dot(r.flat(), cache.h.flat());
+  };
+
+  store.zero_grads();
+  LstmLayer::Cache cache;
+  lstm.forward(store, x, batch, seq, cache);
+  Matrix g_x;
+  lstm.backward(store, x, cache, r, g_x);
+
+  const float eps = 1e-2F;
+  auto params = store.params();
+  auto grads = store.grads();
+  for (std::size_t i = 0; i < params.size(); i += 5) {
+    const float saved = params[i];
+    params[i] = saved + eps;
+    const double up = loss();
+    params[i] = saved - eps;
+    const double down = loss();
+    params[i] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    expect_grad_close(grads[i], numeric, 5e-3, 5e-2,
+                      "param " + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < x.size(); i += 3) {
+    const float saved = x.flat()[i];
+    x.flat()[i] = saved + eps;
+    const double up = loss();
+    x.flat()[i] = saved - eps;
+    const double down = loss();
+    x.flat()[i] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    expect_grad_close(g_x.flat()[i], numeric, 5e-3, 5e-2,
+                      "input " + std::to_string(i));
+  }
+}
+
+TEST(Conv2D, GradientCheck) {
+  ParameterStore store;
+  Conv2D conv(store, "c", 2, 3, 3, 6, 6);
+  store.finalize();
+  Rng rng(17);
+  conv.init(store, rng);
+
+  Matrix x(2, 2 * 6 * 6);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Matrix r(2, conv.out_size());
+  r.fill_uniform(rng, -1.0F, 1.0F);
+
+  auto loss = [&] {
+    Matrix out;
+    conv.forward(store, x, out);
+    return tensor::dot(r.flat(), out.flat());
+  };
+
+  store.zero_grads();
+  Matrix out, g_in;
+  conv.forward(store, x, out);
+  conv.backward(store, x, r, &g_in);
+
+  const float eps = 1e-2F;
+  auto params = store.params();
+  auto grads = store.grads();
+  for (std::size_t i = 0; i < params.size(); i += 7) {
+    const float saved = params[i];
+    params[i] = saved + eps;
+    const double up = loss();
+    params[i] = saved - eps;
+    const double down = loss();
+    params[i] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    expect_grad_close(grads[i], numeric, 3e-3, 3e-2,
+                      "param " + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < x.size(); i += 11) {
+    const float saved = x.flat()[i];
+    x.flat()[i] = saved + eps;
+    const double up = loss();
+    x.flat()[i] = saved - eps;
+    const double down = loss();
+    x.flat()[i] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    expect_grad_close(g_in.flat()[i], numeric, 3e-3, 3e-2,
+                      "input " + std::to_string(i));
+  }
+}
+
+TEST(Loss, CrossEntropyMatchesManualComputation) {
+  Matrix logits(1, 3);
+  logits(0, 0) = 1.0F;
+  logits(0, 1) = 2.0F;
+  logits(0, 2) = 3.0F;
+  std::vector<std::int32_t> labels{2};
+  Matrix g;
+  const float loss = softmax_cross_entropy(logits, labels, g);
+  const double denom = std::exp(1.0) + std::exp(2.0) + std::exp(3.0);
+  EXPECT_NEAR(loss, -std::log(std::exp(3.0) / denom), 1e-5);
+  // Gradient = softmax - onehot.
+  EXPECT_NEAR(g(0, 0), std::exp(1.0) / denom, 1e-5);
+  EXPECT_NEAR(g(0, 2), std::exp(3.0) / denom - 1.0, 1e-5);
+}
+
+TEST(Loss, IgnoresNegativeLabels) {
+  Matrix logits(2, 3);
+  logits.fill(1.0F);
+  std::vector<std::int32_t> labels{-1, 0};
+  Matrix g;
+  const float loss = softmax_cross_entropy(logits, labels, g);
+  EXPECT_NEAR(loss, std::log(3.0), 1e-5);  // only the second row counts
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_FLOAT_EQ(g(0, c), 0.0F);
+}
+
+TEST(Loss, GradientCheckAgainstFiniteDifference) {
+  Rng rng(19);
+  Matrix logits(4, 6);
+  logits.fill_uniform(rng, -2.0F, 2.0F);
+  std::vector<std::int32_t> labels{0, 3, 5, 2};
+  Matrix g;
+  softmax_cross_entropy(logits, labels, g);
+  const float eps = 1e-3F;
+  for (std::size_t i = 0; i < logits.size(); i += 5) {
+    Matrix up = logits, down = logits;
+    up.flat()[i] += eps;
+    down.flat()[i] -= eps;
+    Matrix scratch;
+    const double numeric =
+        (softmax_cross_entropy(up, labels, scratch) -
+         softmax_cross_entropy(down, labels, scratch)) /
+        (2.0 * eps);
+    expect_grad_close(g.flat()[i], numeric, 1e-3, 2e-2,
+                      "logit " + std::to_string(i));
+  }
+}
+
+TEST(Loss, EvaluateLogitsCountsTopK) {
+  Matrix logits(2, 4);
+  // Sample 0: label 1 ranks 2nd; sample 1: label 3 ranks 1st.
+  logits(0, 0) = 3.0F;
+  logits(0, 1) = 2.0F;
+  logits(0, 2) = 1.0F;
+  logits(0, 3) = 0.0F;
+  logits(1, 3) = 5.0F;
+  std::vector<std::int32_t> labels{1, 3};
+  const auto top1 = evaluate_logits(logits, labels, 1);
+  EXPECT_EQ(top1.count, 2u);
+  EXPECT_EQ(top1.top1, 1u);
+  const auto top2 = evaluate_logits(logits, labels, 2);
+  EXPECT_EQ(top2.topk, 2u);
+}
+
+TEST(Loss, EvalResultMerge) {
+  EvalResult a{.loss_sum = 1.0, .top1 = 2, .topk = 3, .count = 4};
+  EvalResult b{.loss_sum = 2.0, .top1 = 1, .topk = 1, .count = 4};
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.loss_sum, 3.0);
+  EXPECT_EQ(a.top1, 3u);
+  EXPECT_DOUBLE_EQ(a.mean_loss(), 3.0 / 8.0);
+  EXPECT_DOUBLE_EQ(a.top1_accuracy(), 3.0 / 8.0);
+  EXPECT_DOUBLE_EQ(a.topk_accuracy(), 4.0 / 8.0);
+}
+
+TEST(Optimizer, SgdStepMovesAgainstGradient) {
+  ParameterStore store;
+  store.add_group("a", GroupKind::kDense, 1, 3, true);
+  store.finalize();
+  store.params()[0] = 1.0F;
+  store.grads()[0] = 2.0F;
+  SgdConfig cfg{.lr = 0.5F, .weight_decay = 0.0F, .clip_norm = 0.0F};
+  sgd_step(store, cfg);
+  EXPECT_FLOAT_EQ(store.params()[0], 0.0F);
+}
+
+TEST(Optimizer, WeightDecayShrinksParams) {
+  ParameterStore store;
+  store.add_group("a", GroupKind::kDense, 1, 2, true);
+  store.finalize();
+  store.params()[0] = 1.0F;
+  SgdConfig cfg{.lr = 0.1F, .weight_decay = 0.5F, .clip_norm = 0.0F};
+  sgd_step(store, cfg);
+  EXPECT_FLOAT_EQ(store.params()[0], 1.0F - 0.1F * 0.5F);
+}
+
+TEST(Optimizer, ClipNormLimitsStep) {
+  ParameterStore store;
+  store.add_group("a", GroupKind::kDense, 1, 2, true);
+  store.finalize();
+  store.grads()[0] = 3.0F;
+  store.grads()[1] = 4.0F;  // norm = 5
+  SgdConfig cfg{.lr = 1.0F, .weight_decay = 0.0F, .clip_norm = 1.0F};
+  const double norm = sgd_step(store, cfg);
+  EXPECT_DOUBLE_EQ(norm, 5.0);
+  EXPECT_NEAR(store.params()[0], -3.0F / 5.0F, 1e-6);
+  EXPECT_NEAR(store.params()[1], -4.0F / 5.0F, 1e-6);
+}
+
+data::Batch toy_image_batch(Rng& rng, std::size_t n, std::size_t dim,
+                            std::size_t classes) {
+  data::Batch b;
+  b.batch = n;
+  b.x.resize(n, dim);
+  b.targets.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = static_cast<std::int32_t>(rng.uniform_index(classes));
+    b.targets[i] = c;
+    for (std::size_t d = 0; d < dim; ++d) {
+      b.x(i, d) = static_cast<float>(
+          rng.normal(d % classes == static_cast<std::size_t>(c) ? 1.0 : 0.0,
+                     0.3));
+    }
+  }
+  return b;
+}
+
+TEST(MlpModel, TrainingReducesLoss) {
+  MlpModel model({.input = 16, .hidden = 24, .classes = 4});
+  Rng rng(21);
+  model.init_params(rng);
+  const auto batch = toy_image_batch(rng, 64, 16, 4);
+  SgdConfig cfg{.lr = 0.5F, .weight_decay = 0.0F, .clip_norm = 0.0F};
+  const float first = model.train_step(batch);
+  sgd_step(model.store(), cfg);
+  float last = first;
+  for (int i = 0; i < 60; ++i) {
+    last = model.train_step(batch);
+    sgd_step(model.store(), cfg);
+  }
+  EXPECT_LT(last, first * 0.5F);
+}
+
+TEST(MlpModel, EvalBatchIsConsistentWithTraining) {
+  MlpModel model({.input = 8, .hidden = 8, .classes = 3});
+  Rng rng(23);
+  model.init_params(rng);
+  const auto batch = toy_image_batch(rng, 32, 8, 3);
+  const auto eval = model.eval_batch(batch, 2);
+  EXPECT_EQ(eval.count, 32u);
+  EXPECT_LE(eval.top1, eval.topk);
+  EXPECT_LE(eval.topk, eval.count);
+}
+
+data::Batch toy_text_batch(Rng& rng, std::size_t n, std::size_t seq,
+                           std::size_t vocab) {
+  data::Batch b;
+  b.batch = n;
+  b.seq = seq;
+  b.tokens.resize(n * seq);
+  b.targets.resize(n * seq);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto tok = static_cast<std::int32_t>(rng.uniform_index(vocab));
+    for (std::size_t t = 0; t < seq; ++t) {
+      b.tokens[i * seq + t] = tok;
+      const auto next = static_cast<std::int32_t>((tok + 1) %
+                                                  static_cast<int>(vocab));
+      b.targets[i * seq + t] = next;
+      tok = next;
+    }
+  }
+  return b;
+}
+
+TEST(LstmLmModel, LearnsDeterministicSuccessor) {
+  LstmLmModel model({.vocab = 12, .embed = 16, .hidden = 24, .layers = 2});
+  Rng rng(25);
+  model.init_params(rng);
+  SgdConfig cfg{.lr = 0.5F, .weight_decay = 0.0F, .clip_norm = 5.0F};
+  const auto batch = toy_text_batch(rng, 16, 6, 12);
+  const float first = model.train_step(batch);
+  sgd_step(model.store(), cfg);
+  float last = first;
+  for (int i = 0; i < 420; ++i) {
+    last = model.train_step(batch);
+    sgd_step(model.store(), cfg);
+  }
+  EXPECT_LT(last, first * 0.4F);
+  const auto eval = model.eval_batch(batch, 1);
+  EXPECT_GT(eval.top1_accuracy(), 0.8);
+}
+
+TEST(LstmLmModel, GroupMetadataExposesRecurrentKinds) {
+  LstmLmModel model({.vocab = 10, .embed = 4, .hidden = 6, .layers = 2});
+  const auto& store = model.store();
+  EXPECT_EQ(store.group(model.embed_group()).kind, GroupKind::kEmbedding);
+  EXPECT_EQ(store.group(model.unit_group(0)).kind, GroupKind::kRecurrentUnit);
+  EXPECT_EQ(store.group(model.unit_group(1)).kind, GroupKind::kRecurrentUnit);
+  EXPECT_EQ(store.group(model.out_group()).kind, GroupKind::kDense);
+  EXPECT_TRUE(is_recurrent(store.group(model.unit_group(0)).kind));
+  // One row per hidden unit: all 4 gates' input weights, biases, and
+  // recurrent weights live in that row.
+  EXPECT_EQ(store.group(model.unit_group(0)).rows, 6u);
+  EXPECT_EQ(store.group(model.unit_group(0)).row_len, 4u * (4 + 1) + 4u * 6);
+  EXPECT_EQ(store.group(model.unit_group(1)).row_len, 4u * (6 + 1) + 4u * 6);
+}
+
+TEST(Lstm, DroppedUnitRowIsExactlyInert) {
+  // The paper's row = activation-dropout equivalence: zeroing a unit row
+  // makes that unit's hidden output identically zero at every timestep.
+  ParameterStore store;
+  LstmLayer lstm(store, "l", 3, 5);
+  store.finalize();
+  Rng rng(77);
+  lstm.init(store, rng);
+  // Zero unit 2's entire row.
+  for (auto& v : store.row_params(lstm.group(), 2)) v = 0.0F;
+  Matrix x(3 * 7, 3);
+  x.fill_uniform(rng, -2.0F, 2.0F);
+  LstmLayer::Cache cache;
+  lstm.forward(store, x, 3, 7, cache);
+  for (std::size_t row = 0; row < cache.h.rows(); ++row) {
+    EXPECT_EQ(cache.h(row, 2), 0.0F);
+    EXPECT_NE(cache.h(row, 0), 0.0F);
+  }
+}
+
+TEST(ConvModel, TrainsOnToyImages) {
+  ConvModel model({.height = 8,
+                   .width = 8,
+                   .channels = 1,
+                   .filters = 4,
+                   .kernel = 3,
+                   .classes = 3});
+  Rng rng(27);
+  model.init_params(rng);
+  const auto batch = toy_image_batch(rng, 32, 64, 3);
+  SgdConfig cfg{.lr = 0.2F, .weight_decay = 0.0F, .clip_norm = 0.0F};
+  const float first = model.train_step(batch);
+  sgd_step(model.store(), cfg);
+  float last = first;
+  for (int i = 0; i < 80; ++i) {
+    last = model.train_step(batch);
+    sgd_step(model.store(), cfg);
+  }
+  EXPECT_LT(last, first);
+  EXPECT_EQ(model.store().group(model.conv_group()).kind,
+            GroupKind::kConvFilter);
+}
+
+
+TEST(Rnn, GradientCheck) {
+  ParameterStore store;
+  RnnLayer rnn(store, "r", 3, 5);
+  store.finalize();
+  Rng rng(83);
+  rnn.init(store, rng);
+
+  const std::size_t batch = 2, seq = 4;
+  Matrix x(batch * seq, 3);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Matrix r(batch * seq, 5);
+  r.fill_uniform(rng, -1.0F, 1.0F);
+
+  auto loss = [&] {
+    RnnLayer::Cache cache;
+    rnn.forward(store, x, batch, seq, cache);
+    return tensor::dot(r.flat(), cache.h.flat());
+  };
+
+  store.zero_grads();
+  RnnLayer::Cache cache;
+  rnn.forward(store, x, batch, seq, cache);
+  Matrix g_x;
+  rnn.backward(store, x, cache, r, g_x);
+
+  const float eps = 1e-2F;
+  auto params = store.params();
+  auto grads = store.grads();
+  for (std::size_t i = 0; i < params.size(); i += 3) {
+    const float saved = params[i];
+    params[i] = saved + eps;
+    const double up = loss();
+    params[i] = saved - eps;
+    const double down = loss();
+    params[i] = saved;
+    expect_grad_close(grads[i], (up - down) / (2.0 * eps), 5e-3, 5e-2,
+                      "param " + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < x.size(); i += 2) {
+    const float saved = x.flat()[i];
+    x.flat()[i] = saved + eps;
+    const double up = loss();
+    x.flat()[i] = saved - eps;
+    const double down = loss();
+    x.flat()[i] = saved;
+    expect_grad_close(g_x.flat()[i], (up - down) / (2.0 * eps), 5e-3, 5e-2,
+                      "input " + std::to_string(i));
+  }
+}
+
+TEST(Rnn, DroppedUnitRowIsExactlyInert) {
+  ParameterStore store;
+  RnnLayer rnn(store, "r", 2, 4);
+  store.finalize();
+  Rng rng(89);
+  rnn.init(store, rng);
+  for (auto& v : store.row_params(rnn.group(), 1)) v = 0.0F;
+  Matrix x(3 * 6, 2);
+  x.fill_uniform(rng, -2.0F, 2.0F);
+  RnnLayer::Cache cache;
+  rnn.forward(store, x, 3, 6, cache);
+  for (std::size_t row = 0; row < cache.h.rows(); ++row) {
+    EXPECT_EQ(cache.h(row, 1), 0.0F);
+    EXPECT_NE(cache.h(row, 0), 0.0F);
+  }
+}
+
+TEST(Rnn, HiddenStatesBoundedByTanh) {
+  ParameterStore store;
+  RnnLayer rnn(store, "r", 2, 3);
+  store.finalize();
+  Rng rng(97);
+  for (auto& v : store.params()) v = static_cast<float>(rng.uniform(-4, 4));
+  Matrix x(2 * 10, 2);
+  x.fill_uniform(rng, -5.0F, 5.0F);
+  RnnLayer::Cache cache;
+  rnn.forward(store, x, 2, 10, cache);
+  for (const float h : cache.h.flat()) {
+    EXPECT_LE(std::abs(h), 1.0F);
+  }
+}
+
+TEST(Rnn, RegistersUnitGranularRecurrentGroup) {
+  ParameterStore store;
+  RnnLayer rnn(store, "r", 7, 5);
+  store.finalize();
+  const auto& grp = store.group(rnn.group());
+  EXPECT_EQ(grp.kind, GroupKind::kRecurrentUnit);
+  EXPECT_TRUE(is_recurrent(grp.kind));
+  EXPECT_EQ(grp.rows, 5u);
+  EXPECT_EQ(grp.row_len, 7u + 1 + 5u);
+}
+
+TEST(Models, InitIsDeterministicGivenSeed) {
+  MlpModel a({.input = 8, .hidden = 8, .classes = 3});
+  MlpModel b({.input = 8, .hidden = 8, .classes = 3});
+  Rng ra(31), rb(31);
+  a.init_params(ra);
+  b.init_params(rb);
+  auto pa = a.store().params();
+  auto pb = b.store().params();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_FLOAT_EQ(pa[i], pb[i]);
+  }
+}
+
+}  // namespace
+}  // namespace fedbiad::nn

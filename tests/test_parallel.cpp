@@ -1,0 +1,124 @@
+// Unit tests for the thread pool and parallel_for.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace fedbiad::parallel {
+namespace {
+
+TEST(ThreadPool, DefaultSizeMatchesHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ForEachIndexCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.for_each_index(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ForEachIndexZeroIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.for_each_index(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, TasksRunConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(pool.submit([&] {
+      const int now = running.fetch_add(1) + 1;
+      int old_peak = peak.load();
+      while (old_peak < now && !peak.compare_exchange_weak(old_peak, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      running.fetch_sub(1);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_GT(peak.load(), 1);
+}
+
+TEST(ParallelFor, MatchesSerialResult) {
+  std::vector<double> out(50000, 0.0);
+  parallel_for(out.size(), [&](std::size_t i) {
+    out[i] = static_cast<double>(i) * 0.5;
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_DOUBLE_EQ(out[i], static_cast<double>(i) * 0.5);
+  }
+}
+
+TEST(ParallelFor, SmallRangesRunSerially) {
+  // Below the grain threshold the calling thread does the work itself.
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ids(3);
+  parallel_for(ids.size(), [&](std::size_t i) {
+    ids[i] = std::this_thread::get_id();
+  });
+  for (const auto id : ids) EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelFor, NestedCallsDoNotDeadlock) {
+  // A worker-thread nested parallel_for must degrade to serial instead of
+  // waiting on the pool it occupies.
+  std::atomic<int> total{0};
+  parallel_for(
+      ThreadPool::global().size() * 4,
+      [&](std::size_t) {
+        parallel_for(
+            100000, [&](std::size_t) { total.fetch_add(1); }, 1000);
+      },
+      1 << 20);
+  EXPECT_EQ(total.load(),
+            static_cast<int>(ThreadPool::global().size() * 4 * 100000));
+}
+
+TEST(ThreadPool, NestedForEachFromWorkerRunsSerially) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  auto fut = pool.submit([&] {
+    // Direct nested use of the same pool from a worker.
+    ThreadPool::global().for_each_index(10,
+                                        [&](std::size_t) { count.fetch_add(1); });
+  });
+  fut.get();
+  EXPECT_EQ(count.load(), 10);
+}
+
+}  // namespace
+}  // namespace fedbiad::parallel

@@ -1,0 +1,463 @@
+// Cross-module property tests: invariants that tie upload accounting,
+// presence masks, aggregation, and the strategies together, plus
+// failure-injection cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "baselines/fedavg.hpp"
+#include "baselines/unit_mask.hpp"
+#include "common/check.hpp"
+#include "compress/compressed_strategy.hpp"
+#include "compress/dgc.hpp"
+#include "compress/quantize.hpp"
+#include "compress/stc.hpp"
+#include "core/drop_pattern.hpp"
+#include "core/fedbiad_strategy.hpp"
+#include "data/image_synth.hpp"
+#include "data/partition.hpp"
+#include "data/text_synth.hpp"
+#include "fl/aggregate.hpp"
+#include "fl/simulation.hpp"
+#include "nn/lstm_lm_model.hpp"
+#include "nn/conv_model.hpp"
+#include "nn/mlp_model.hpp"
+#include "nn/rnn_lm_model.hpp"
+#include "nn/optimizer.hpp"
+
+namespace fedbiad {
+namespace {
+
+// Presence mask and upload accounting must agree: bytes = 4·(#present
+// coordinates) + packed pattern bits, for any rate and eligibility.
+class PatternAccounting : public ::testing::TestWithParam<double> {};
+
+TEST_P(PatternAccounting, BytesMatchPresence) {
+  const double rate = GetParam();
+  nn::LstmLmModel model({.vocab = 37, .embed = 8, .hidden = 12, .layers = 2});
+  const auto& store = model.store();
+  for (const auto& eligible :
+       {core::eligible_all(), core::eligible_fc_conv(),
+        core::eligible_non_recurrent()}) {
+    tensor::Rng rng(11);
+    const auto p = core::DropPattern::sample(store, rate, eligible, rng);
+    std::vector<std::uint8_t> present(store.size(), 1);
+    p.mark_presence(store, present);
+    const auto present_count = static_cast<std::uint64_t>(
+        std::count(present.begin(), present.end(), std::uint8_t{1}));
+    EXPECT_EQ(p.upload_bytes(store),
+              present_count * 4 + (store.droppable_rows() + 7) / 8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, PatternAccounting,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75));
+
+TEST(AggregateProperty, SingleClientIsIdentityOnPresentCoords) {
+  tensor::Rng rng(5);
+  std::vector<float> global(64);
+  for (auto& g : global) g = static_cast<float>(rng.normal(0, 1));
+  const auto before = global;
+  fl::ClientOutcome o;
+  o.samples = 3;
+  o.values.resize(64);
+  o.present.resize(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    o.values[i] = static_cast<float>(rng.normal(0, 1));
+    o.present[i] = rng.bernoulli(0.5) ? 1 : 0;
+  }
+  std::vector<fl::ClientOutcome> outs{o};
+  fl::aggregate(global, outs, fl::AggregationRule::kPerCoordinateNormalized);
+  for (std::size_t i = 0; i < 64; ++i) {
+    if (o.present[i]) {
+      EXPECT_FLOAT_EQ(global[i], o.values[i]);
+    } else {
+      EXPECT_FLOAT_EQ(global[i], before[i]);
+    }
+  }
+}
+
+TEST(AggregateProperty, MaskedAverageEqualsManualEquationTen) {
+  // Random instance of eq. 10 verified against a direct computation.
+  tensor::Rng rng(7);
+  const std::size_t n = 40;
+  std::vector<float> global(n, 0.0F);
+  std::vector<fl::ClientOutcome> outs(3);
+  double total_w = 0.0;
+  for (std::size_t k = 0; k < outs.size(); ++k) {
+    outs[k].samples = k + 1;
+    total_w += static_cast<double>(k + 1);
+    outs[k].values.resize(n);
+    outs[k].present.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      outs[k].present[i] = rng.bernoulli(0.6) ? 1 : 0;
+      outs[k].values[i] =
+          outs[k].present[i] ? static_cast<float>(rng.normal(0, 1)) : 0.0F;
+    }
+  }
+  fl::aggregate(global, outs, fl::AggregationRule::kMaskedAverage);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (const auto& o : outs) {
+      acc += static_cast<double>(o.samples) * o.values[i];  // zeros included
+    }
+    EXPECT_NEAR(global[i], acc / total_w, 1e-5);
+  }
+}
+
+TEST(FedBiadProperty, DroppedUnitWeightsNeverTrain) {
+  // A row dropped for the whole round must come back bit-identical in the
+  // uploaded variational parameters.
+  auto cfg = data::ImageSynthConfig::mnist_like(31);
+  cfg.train_samples = 64;
+  cfg.test_samples = 8;
+  const auto ds = data::make_image_datasets(cfg);
+  nn::MlpModel model({.input = 784, .hidden = 16, .classes = 10});
+  tensor::Rng init(1);
+  model.init_params(init);
+  std::vector<float> global(model.store().params().begin(),
+                            model.store().params().end());
+  std::vector<std::size_t> shard(ds.train->size());
+  for (std::size_t i = 0; i < shard.size(); ++i) shard[i] = i;
+  fl::TrainSettings settings;
+  settings.local_iterations = 50;  // tau=60 → no resampling mid-round
+  settings.batch_size = 8;
+  settings.sgd = {.lr = 0.1F, .weight_decay = 0.0F, .clip_norm = 0.0F};
+  core::FedBiadStrategy strat({.dropout_rate = 0.5,
+                               .tau = 60,
+                               .stage_boundary = 5,
+                               .sample_posterior = false});
+  fl::ClientContext ctx{.client_id = 0,
+                        .round = 1,
+                        .model = model,
+                        .global_params = global,
+                        .dataset = *ds.train,
+                        .shard = shard,
+                        .settings = settings,
+                        .rng = tensor::Rng(2)};
+  const auto out = strat.run_client(ctx);
+  const auto& store = model.store();
+  bool any_dropped = false;
+  for (std::size_t j = 0; j < store.droppable_rows(); ++j) {
+    const auto ref = store.droppable_row(j);
+    const auto& grp = store.group(ref.group);
+    const std::size_t begin = grp.offset + ref.row * grp.row_len;
+    if (out.present[begin] != 0) continue;
+    any_dropped = true;
+    for (std::size_t i = begin; i < begin + grp.row_len; ++i) {
+      ASSERT_EQ(out.values[i], global[i]) << "dropped row " << j << " moved";
+    }
+  }
+  EXPECT_TRUE(any_dropped);
+}
+
+TEST(FedBiadProperty, RunClientIsDeterministic) {
+  auto cfg = data::ImageSynthConfig::mnist_like(37);
+  cfg.train_samples = 64;
+  cfg.test_samples = 8;
+  const auto ds = data::make_image_datasets(cfg);
+  std::vector<std::size_t> shard(ds.train->size());
+  for (std::size_t i = 0; i < shard.size(); ++i) shard[i] = i;
+  fl::TrainSettings settings;
+  settings.local_iterations = 9;
+  settings.batch_size = 8;
+  settings.sgd = {.lr = 0.1F, .weight_decay = 0.0F, .clip_norm = 0.0F};
+
+  auto run_once = [&] {
+    nn::MlpModel model({.input = 784, .hidden = 12, .classes = 10});
+    tensor::Rng init(3);
+    model.init_params(init);
+    std::vector<float> global(model.store().params().begin(),
+                              model.store().params().end());
+    core::FedBiadStrategy strat(
+        {.dropout_rate = 0.5, .tau = 2, .stage_boundary = 5});
+    fl::ClientContext ctx{.client_id = 4,
+                          .round = 1,
+                          .model = model,
+                          .global_params = global,
+                          .dataset = *ds.train,
+                          .shard = shard,
+                          .settings = settings,
+                          .rng = tensor::Rng(99)};
+    return strat.run_client(ctx);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.present, b.present);
+  EXPECT_EQ(a.uplink_bytes, b.uplink_bytes);
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    ASSERT_FLOAT_EQ(a.values[i], b.values[i]);
+  }
+}
+
+class WidthRatioSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WidthRatioSweep, SubmodelBytesMonotone) {
+  const double ratio = GetParam();
+  nn::LstmLmModel model({.vocab = 50, .embed = 16, .hidden = 16, .layers = 2});
+  const auto plan = baselines::WidthPlan::for_lstm_lm(model);
+  const auto bytes = plan.submodel_bytes(model.store(), ratio);
+  const auto bytes_wider =
+      plan.submodel_bytes(model.store(), std::min(1.0, ratio + 0.25));
+  EXPECT_LE(bytes, bytes_wider);
+  EXPECT_LE(bytes, core::dense_model_bytes(model.store()) + 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, WidthRatioSweep,
+                         ::testing::Values(0.125, 0.25, 0.5, 0.75, 1.0));
+
+TEST(ComposedProperty, EveryCompressorComposesWithFedBiad) {
+  auto cfg = data::ImageSynthConfig::mnist_like(41);
+  cfg.train_samples = 120;
+  cfg.test_samples = 40;
+  const auto ds = data::make_image_datasets(cfg);
+  tensor::Rng prng(42);
+  auto partition = data::partition_iid(ds.train->size(), 6, prng);
+  auto factory = [] {
+    return std::make_unique<nn::MlpModel>(
+        nn::MlpConfig{.input = 784, .hidden = 12, .classes = 10});
+  };
+  fl::SimulationConfig sim_cfg;
+  sim_cfg.rounds = 2;
+  sim_cfg.selection_fraction = 0.5;
+  sim_cfg.train.local_iterations = 4;
+  sim_cfg.train.batch_size = 8;
+  sim_cfg.train.sgd = {.lr = 0.1F, .weight_decay = 0.0F, .clip_norm = 0.0F};
+  sim_cfg.threads = 2;
+
+  const std::vector<compress::CompressorPtr> compressors{
+      std::make_shared<compress::DgcCompressor>(),
+      std::make_shared<compress::StcCompressor>(),
+      std::make_shared<compress::SignSgdCompressor>(),
+      std::make_shared<compress::FedPaqCompressor>(),
+  };
+  for (const auto& comp : compressors) {
+    auto inner = std::make_shared<core::FedBiadStrategy>(
+        core::FedBiadConfig{.dropout_rate = 0.5,
+                            .tau = 2,
+                            .stage_boundary = 2,
+                            .sample_posterior = false});
+    auto composed = std::make_shared<compress::ComposedStrategy>(inner, comp);
+    fl::Simulation sim(sim_cfg, factory, ds.train, ds.test, partition,
+                       composed);
+    const auto result = sim.run();
+    ASSERT_EQ(result.rounds.size(), 2u) << comp->name();
+    EXPECT_GT(result.rounds.front().uplink_bytes_total, 0u) << comp->name();
+    // Composition can never cost more than the dropout upload it wraps.
+    nn::MlpModel probe({.input = 784, .hidden = 12, .classes = 10});
+    EXPECT_LT(result.mean_upload_bytes(),
+              static_cast<double>(core::dense_model_bytes(probe.store())))
+        << comp->name();
+  }
+}
+
+TEST(TextSynthProperty, StructureProbControlsBigramFollowRate) {
+  // The fraction of transitions following the topic permutation should
+  // track structure_prob (up to chance collisions).
+  for (const double sp : {0.2, 0.8}) {
+    auto cfg = data::TextSynthConfig::ptb_like(51);
+    cfg.vocab = 200;
+    cfg.topics = 1;
+    cfg.structure_prob = sp;
+    cfg.train_sequences = 400;
+    cfg.test_sequences = 10;
+    const auto ds = data::make_text_datasets_iid(cfg, 1);
+    // Reconstruct the permutation empirically: the most frequent successor
+    // of each token is perm[token] when sp is large; instead we measure the
+    // repeat rate of the modal successor, which grows with sp.
+    std::vector<std::size_t> idx(ds.train->size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    const auto batch = ds.train->make_batch(idx);
+    std::map<std::pair<int, int>, int> bigram;
+    std::map<int, int> prev_count;
+    for (std::size_t i = 0; i < batch.tokens.size(); ++i) {
+      bigram[{batch.tokens[i], batch.targets[i]}]++;
+      prev_count[batch.tokens[i]]++;
+    }
+    double modal_mass = 0.0;
+    double total = 0.0;
+    std::map<int, int> modal;
+    for (const auto& [key, count] : bigram) {
+      modal[key.first] = std::max(modal[key.first], count);
+    }
+    for (const auto& [tok, count] : prev_count) {
+      if (count < 5) continue;
+      modal_mass += modal[tok];
+      total += count;
+    }
+    const double rate = modal_mass / total;
+    if (sp > 0.5) {
+      EXPECT_GT(rate, 0.6);
+    } else {
+      EXPECT_LT(rate, 0.6);
+    }
+  }
+}
+
+TEST(SimulationFailure, RejectsBadConfigurations) {
+  auto cfg = data::ImageSynthConfig::mnist_like(61);
+  cfg.train_samples = 20;
+  cfg.test_samples = 4;
+  const auto ds = data::make_image_datasets(cfg);
+  auto factory = [] {
+    return std::make_unique<nn::MlpModel>(
+        nn::MlpConfig{.input = 784, .hidden = 4, .classes = 10});
+  };
+  fl::SimulationConfig sim_cfg;
+  // Null strategy.
+  EXPECT_THROW(fl::Simulation(sim_cfg, factory, ds.train, ds.test,
+                              data::Partition{{0, 1}}, nullptr),
+               CheckError);
+  // Empty partition.
+  EXPECT_THROW(fl::Simulation(sim_cfg, factory, ds.train, ds.test,
+                              data::Partition{},
+                              std::make_shared<baselines::FedAvgStrategy>()),
+               CheckError);
+  // All shards empty.
+  fl::Simulation sim(sim_cfg, factory, ds.train, ds.test,
+                     data::Partition{{}, {}},
+                     std::make_shared<baselines::FedAvgStrategy>());
+  EXPECT_THROW(sim.run(), CheckError);
+}
+
+TEST(SimulationFailure, SelectionSkipsEmptyShards) {
+  auto cfg = data::ImageSynthConfig::mnist_like(67);
+  cfg.train_samples = 40;
+  cfg.test_samples = 8;
+  const auto ds = data::make_image_datasets(cfg);
+  auto factory = [] {
+    return std::make_unique<nn::MlpModel>(
+        nn::MlpConfig{.input = 784, .hidden = 4, .classes = 10});
+  };
+  // 4 clients, two of them empty; selecting half must still work.
+  data::Partition partition(4);
+  for (std::size_t i = 0; i < ds.train->size(); ++i) {
+    partition[i % 2].push_back(i);
+  }
+  fl::SimulationConfig sim_cfg;
+  sim_cfg.rounds = 2;
+  sim_cfg.selection_fraction = 0.5;
+  sim_cfg.train.local_iterations = 2;
+  sim_cfg.train.batch_size = 4;
+  sim_cfg.threads = 2;
+  fl::Simulation sim(sim_cfg, factory, ds.train, ds.test, partition,
+                     std::make_shared<baselines::FedAvgStrategy>());
+  const auto result = sim.run();
+  EXPECT_EQ(result.rounds.size(), 2u);
+}
+
+
+TEST(RnnLmProperty, TrainsAndSupportsFedBiadDropout) {
+  // End-to-end federated dropout on the exact §III-A vanilla-RNN LM the
+  // theory analyzes.
+  auto cfg = data::TextSynthConfig::ptb_like(71);
+  cfg.vocab = 50;
+  cfg.train_sequences = 200;
+  cfg.test_sequences = 40;
+  cfg.seq_len = 6;
+  const auto text = data::make_text_datasets_iid(cfg, 4);
+  auto factory = [] {
+    return std::make_unique<nn::RnnLmModel>(
+        nn::RnnLmConfig{.vocab = 50, .embed = 12, .hidden = 16, .layers = 2});
+  };
+  fl::SimulationConfig sim_cfg;
+  sim_cfg.rounds = 3;
+  sim_cfg.selection_fraction = 0.5;
+  sim_cfg.train.local_iterations = 6;
+  sim_cfg.train.batch_size = 8;
+  sim_cfg.train.topk = 3;
+  sim_cfg.train.sgd = {.lr = 0.5F, .weight_decay = 0.0F, .clip_norm = 5.0F};
+  sim_cfg.threads = 4;
+  auto strategy = std::make_shared<core::FedBiadStrategy>(
+      core::FedBiadConfig{.dropout_rate = 0.5,
+                          .tau = 2,
+                          .stage_boundary = 2,
+                          .sample_posterior = false});
+  fl::Simulation sim(sim_cfg, factory, text.train, text.test,
+                     text.client_indices, strategy);
+  const auto result = sim.run();
+  ASSERT_EQ(result.rounds.size(), 3u);
+  nn::RnnLmModel probe(
+      {.vocab = 50, .embed = 12, .hidden = 16, .layers = 2});
+  const auto dense = core::dense_model_bytes(probe.store());
+  EXPECT_LT(result.mean_upload_bytes(), 0.6 * static_cast<double>(dense));
+}
+
+TEST(ConvProperty, FilterWiseDropoutEndToEnd) {
+  // Paper §IV-C: CNN dropout is filter-wise. Run FedBIAD over a ConvModel
+  // and check whole filters are dropped and upload accounting holds.
+  auto cfg = data::ImageSynthConfig::mnist_like(73);
+  cfg.train_samples = 80;
+  cfg.test_samples = 16;
+  cfg.height = 12;
+  cfg.width = 12;
+  const auto ds = data::make_image_datasets(cfg);
+  nn::ConvModel model({.height = 12,
+                       .width = 12,
+                       .channels = 1,
+                       .filters = 8,
+                       .kernel = 3,
+                       .classes = 10});
+  tensor::Rng init(9);
+  model.init_params(init);
+  std::vector<float> global(model.store().params().begin(),
+                            model.store().params().end());
+  std::vector<std::size_t> shard(ds.train->size());
+  for (std::size_t i = 0; i < shard.size(); ++i) shard[i] = i;
+  fl::TrainSettings settings;
+  settings.local_iterations = 4;
+  settings.batch_size = 8;
+  settings.sgd = {.lr = 0.1F, .weight_decay = 0.0F, .clip_norm = 0.0F};
+  core::FedBiadStrategy strat({.dropout_rate = 0.5,
+                               .tau = 2,
+                               .stage_boundary = 5,
+                               .sample_posterior = false});
+  fl::ClientContext ctx{.client_id = 0,
+                        .round = 1,
+                        .model = model,
+                        .global_params = global,
+                        .dataset = *ds.train,
+                        .shard = shard,
+                        .settings = settings,
+                        .rng = tensor::Rng(10)};
+  const auto out = strat.run_client(ctx);
+  // Dropped filters are absent as whole rows (filter granularity).
+  const auto& store = model.store();
+  const auto& conv = store.group(model.conv_group());
+  EXPECT_EQ(conv.kind, nn::GroupKind::kConvFilter);
+  std::size_t dropped_filters = 0;
+  for (std::size_t f = 0; f < conv.rows; ++f) {
+    const std::size_t begin = conv.offset + f * conv.row_len;
+    const bool absent = out.present[begin] == 0;
+    for (std::size_t i = begin; i < begin + conv.row_len; ++i) {
+      EXPECT_EQ(out.present[i], absent ? 0 : 1);
+    }
+    dropped_filters += absent ? 1 : 0;
+  }
+  EXPECT_EQ(dropped_filters, 4u);  // p=0.5 of 8 filters
+}
+
+TEST(SgdProperty, MaskedRowsStayZeroUnderWeightDecay) {
+  // Weight decay must not resurrect dropped rows: decay of zero is zero.
+  nn::ParameterStore store;
+  store.add_group("w", nn::GroupKind::kDense, 4, 3, true);
+  store.finalize();
+  for (auto& v : store.params()) v = 1.0F;
+  for (auto& g : store.grads()) g = 0.5F;
+  core::DropPattern pattern(4);
+  pattern.set(1, false);
+  pattern.apply_to_params(store);
+  pattern.apply_to_grads(store);
+  nn::sgd_step(store, {.lr = 0.1F, .weight_decay = 0.3F, .clip_norm = 0.0F});
+  for (const float v : store.row_params(0, 1)) {
+    EXPECT_EQ(v, 0.0F);
+  }
+  for (const float v : store.row_params(0, 0)) {
+    EXPECT_NE(v, 1.0F);  // kept rows trained
+  }
+}
+
+}  // namespace
+}  // namespace fedbiad
