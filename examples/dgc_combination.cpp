@@ -15,16 +15,19 @@
 #include "fl/simulation.hpp"
 #include "netsim/tta.hpp"
 #include "nn/mlp_model.hpp"
+#include "smoke.hpp"
 
 int main() {
   using namespace fedbiad;
+  const bool smoke = examples::smoke();
 
   auto data_cfg = data::ImageSynthConfig::mnist_like(21);
-  data_cfg.train_samples = 2500;
-  data_cfg.test_samples = 500;
+  data_cfg.train_samples = smoke ? 500 : 2500;
+  data_cfg.test_samples = smoke ? 100 : 500;
   const auto datasets = data::make_image_datasets(data_cfg);
   tensor::Rng prng(22);
-  auto partition = data::partition_iid(datasets.train->size(), 30, prng);
+  auto partition = data::partition_iid(datasets.train->size(),
+                                       smoke ? 10 : 30, prng);
 
   const nn::MlpConfig model_cfg{.input = 784, .hidden = 128, .classes = 10};
   auto factory = [model_cfg] {
@@ -34,9 +37,9 @@ int main() {
   const auto dense = core::dense_model_bytes(probe.store());
 
   fl::SimulationConfig sim_cfg;
-  sim_cfg.rounds = 20;
+  sim_cfg.rounds = smoke ? 4 : 20;
   sim_cfg.selection_fraction = 0.2;
-  sim_cfg.train.local_iterations = 20;
+  sim_cfg.train.local_iterations = smoke ? 5 : 20;
   sim_cfg.train.batch_size = 32;
   sim_cfg.train.sgd = {.lr = 0.1F, .weight_decay = 1e-4F, .clip_norm = 5.0F};
 
@@ -50,7 +53,7 @@ int main() {
       std::make_shared<core::FedBiadStrategy>(
           core::FedBiadConfig{.dropout_rate = 0.5,
                               .tau = 3,
-                              .stage_boundary = 17}),
+                              .stage_boundary = smoke ? 3UL : 17UL}),
       std::make_shared<compress::DgcCompressor>(dgc_cfg));
 
   std::printf("%-13s %9s %12s %9s\n", "method", "best acc", "upload",

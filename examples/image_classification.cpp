@@ -15,18 +15,21 @@
 #include "fl/simulation.hpp"
 #include "netsim/tta.hpp"
 #include "nn/mlp_model.hpp"
+#include "smoke.hpp"
 
 int main() {
   using namespace fedbiad;
+  const bool smoke = examples::smoke();
 
   auto data_cfg = data::ImageSynthConfig::fmnist_like(7);
-  data_cfg.train_samples = 3000;
-  data_cfg.test_samples = 600;
+  data_cfg.train_samples = smoke ? 600 : 3000;
+  data_cfg.test_samples = smoke ? 150 : 600;
   const auto datasets = data::make_image_datasets(data_cfg);
 
   // Non-IID: every client holds shards from about two classes.
   tensor::Rng prng(8);
-  auto partition = data::partition_shards(*datasets.train, 40, 2, prng);
+  auto partition =
+      data::partition_shards(*datasets.train, smoke ? 10 : 40, 2, prng);
   std::printf("label skew across clients: %.2f (1.0 = single-class "
               "clients)\n\n",
               data::label_skew(*datasets.train, partition, 10));
@@ -39,9 +42,9 @@ int main() {
   const auto dense = core::dense_model_bytes(probe.store());
 
   fl::SimulationConfig sim_cfg;
-  sim_cfg.rounds = 25;
+  sim_cfg.rounds = smoke ? 4 : 25;
   sim_cfg.selection_fraction = 0.25;
-  sim_cfg.train.local_iterations = 20;
+  sim_cfg.train.local_iterations = smoke ? 5 : 20;
   sim_cfg.train.batch_size = 32;
   sim_cfg.train.sgd = {.lr = 0.1F, .weight_decay = 1e-4F, .clip_norm = 5.0F};
 
@@ -58,7 +61,7 @@ int main() {
                                     core::FedBiadConfig{
                                         .dropout_rate = p,
                                         .tau = 3,
-                                        .stage_boundary = 22})});
+                                        .stage_boundary = smoke ? 3UL : 22UL})});
 
   std::printf("%-9s %9s %12s %8s %14s\n", "method", "best acc", "upload",
               "save", "TTA to 60%");

@@ -13,16 +13,18 @@
 #include "fl/simulation.hpp"
 #include "netsim/tta.hpp"
 #include "nn/lstm_lm_model.hpp"
+#include "smoke.hpp"
 
 int main() {
   using namespace fedbiad;
+  const bool smoke = examples::smoke();
 
   auto cfg = data::TextSynthConfig::reddit_like(11);
-  cfg.vocab = 400;
-  cfg.train_sequences = 3000;
-  cfg.test_sequences = 300;
+  cfg.vocab = smoke ? 100 : 400;
+  cfg.train_sequences = smoke ? 400 : 3000;
+  cfg.test_sequences = smoke ? 80 : 300;
   cfg.structure_prob = 0.5;
-  const auto text = data::make_text_datasets_noniid(cfg, 60, 0.3);
+  const auto text = data::make_text_datasets_noniid(cfg, smoke ? 12 : 60, 0.3);
   std::printf("clients: %zu, largest shard %zu sequences, smallest %zu\n\n",
               text.client_indices.size(), text.client_indices.front().size(),
               text.client_indices.back().size());
@@ -34,9 +36,9 @@ int main() {
   };
 
   fl::SimulationConfig sim_cfg;
-  sim_cfg.rounds = 14;
+  sim_cfg.rounds = smoke ? 3 : 14;
   sim_cfg.selection_fraction = 0.15;
-  sim_cfg.train.local_iterations = 15;
+  sim_cfg.train.local_iterations = smoke ? 5 : 15;
   sim_cfg.train.batch_size = 16;
   sim_cfg.train.topk = 3;  // mobile-keyboard metric (paper §V-B)
   sim_cfg.train.sgd = {.lr = 1.0F, .weight_decay = 0.0F, .clip_norm = 5.0F};
@@ -44,7 +46,7 @@ int main() {
   auto strategy = std::make_shared<core::FedBiadStrategy>(
       core::FedBiadConfig{.dropout_rate = 0.5,
                           .tau = 3,
-                          .stage_boundary = 12});
+                          .stage_boundary = smoke ? 2UL : 12UL});
   fl::Simulation sim(sim_cfg, factory, text.train, text.test,
                      text.client_indices, strategy);
   const auto result = sim.run();

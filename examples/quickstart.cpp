@@ -14,14 +14,16 @@
 #include "fl/simulation.hpp"
 #include "netsim/tta.hpp"
 #include "nn/mlp_model.hpp"
+#include "smoke.hpp"
 
 int main() {
   using namespace fedbiad;
+  const bool smoke = examples::smoke();
 
   // 1. Data: a seeded synthetic MNIST-like task, split IID over 20 clients.
   auto data_cfg = data::ImageSynthConfig::mnist_like(/*seed=*/1);
-  data_cfg.train_samples = 2000;
-  data_cfg.test_samples = 400;
+  data_cfg.train_samples = smoke ? 400 : 2000;
+  data_cfg.test_samples = smoke ? 100 : 400;
   const auto datasets = data::make_image_datasets(data_cfg);
   tensor::Rng prng(2);
   auto partition = data::partition_iid(datasets.train->size(), 20, prng);
@@ -36,13 +38,13 @@ int main() {
   auto strategy = std::make_shared<core::FedBiadStrategy>(
       core::FedBiadConfig{.dropout_rate = 0.5,
                           .tau = 3,
-                          .stage_boundary = 8});
+                          .stage_boundary = smoke ? 2UL : 8UL});
 
   // 4. Simulate.
   fl::SimulationConfig sim_cfg;
-  sim_cfg.rounds = 10;
+  sim_cfg.rounds = smoke ? 3 : 10;
   sim_cfg.selection_fraction = 0.25;  // 5 clients per round
-  sim_cfg.train.local_iterations = 20;
+  sim_cfg.train.local_iterations = smoke ? 5 : 20;
   sim_cfg.train.batch_size = 32;
   sim_cfg.train.sgd = {.lr = 0.1F, .weight_decay = 1e-4F, .clip_norm = 5.0F};
   fl::Simulation sim(sim_cfg, factory, datasets.train, datasets.test,

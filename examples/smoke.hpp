@@ -1,0 +1,16 @@
+// Smoke-mode switch for the examples. ctest runs every example with
+// FEDBIAD_SMOKE=1 (see CMakeLists.txt here) so the full pipeline is
+// exercised end-to-end in seconds; humans running the binaries directly
+// get the full-size workloads.
+#pragma once
+
+#include <cstdlib>
+
+namespace fedbiad::examples {
+
+inline bool smoke() {
+  const char* v = std::getenv("FEDBIAD_SMOKE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+}  // namespace fedbiad::examples
