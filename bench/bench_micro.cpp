@@ -1,7 +1,17 @@
 // Substrate microbenchmarks (google-benchmark): tensor kernels, LSTM
 // forward/backward, mask application, compressors, and aggregation.
 // Not a paper artefact — used to track the simulator's own performance.
+//
+// With FEDBIAD_JSON=<path> set, additionally writes the results as a
+// BENCH_micro.json trajectory file following the bench/README.md schema
+// (series keyed by "kernel"; items/sec and ns/iter per entry).
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "compress/dgc.hpp"
 #include "compress/quantize.hpp"
@@ -44,6 +54,9 @@ void BM_LstmForward(benchmark::State& state) {
     lstm.forward(store, x, 16, 12, cache);
     benchmark::DoNotOptimize(cache.h.data());
   }
+  // Items = tokens: batch 16 × seq 12 per iteration.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16 *
+                          12);
 }
 BENCHMARK(BM_LstmForward)->Arg(64)->Arg(128);
 
@@ -64,6 +77,8 @@ void BM_LstmBackward(benchmark::State& state) {
     lstm.backward(store, x, cache, g, gx);
     benchmark::DoNotOptimize(gx.data());
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16 *
+                          12);
 }
 BENCHMARK(BM_LstmBackward)->Arg(64);
 
@@ -134,6 +149,70 @@ void BM_Aggregate(benchmark::State& state) {
 }
 BENCHMARK(BM_Aggregate);
 
+// Console output plus collection of every run for the FEDBIAD_JSON emitter.
+class MicroJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    std::string kernel;
+    double ns_per_iter = 0.0;
+    double items_per_second = 0.0;  // 0 when the bench reports none
+    std::int64_t iterations = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      Entry e;
+      e.kernel = run.benchmark_name();
+      e.iterations = run.iterations;
+      if (run.iterations > 0) {
+        e.ns_per_iter = run.GetAdjustedRealTime();
+      }
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) e.items_per_second = it->second.value;
+      entries_.push_back(std::move(e));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+[[nodiscard]] bool write_json(
+    const std::string& path,
+    const std::vector<MicroJsonReporter::Entry>& entries) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"bench\": \"micro\",\n  \"schema_version\": 1,\n"
+      << "  \"scale\": 1.0,\n  \"seed\": 0,\n  \"series\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    out << "    {\"kernel\": \"" << e.kernel << "\", \"ns_per_iter\": "
+        << e.ns_per_iter << ", \"items_per_second\": " << e.items_per_second
+        << ", \"iterations\": " << e.iterations << "}"
+        << (i + 1 == entries.size() ? "\n" : ",\n");
+  }
+  out << "  ]\n}\n";
+  out.flush();
+  return out.good();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  MicroJsonReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (const char* path = std::getenv("FEDBIAD_JSON")) {
+    if (!write_json(path, reporter.entries())) {
+      std::fprintf(stderr, "bench_micro: failed to write FEDBIAD_JSON=%s\n",
+                   path);
+      return 1;
+    }
+  }
+  return 0;
+}

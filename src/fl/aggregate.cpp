@@ -1,9 +1,22 @@
 #include "fl/aggregate.hpp"
 
+#include <algorithm>
+#include <cstdint>
+
 #include "common/check.hpp"
 #include "parallel/thread_pool.hpp"
+#include "tensor/workspace.hpp"
 
 namespace fedbiad::fl {
+
+namespace {
+
+// Coordinates per streaming block: small enough that the two double
+// accumulator panels stay cache-resident while every client's values /
+// present arrays are streamed through them sequentially.
+constexpr std::size_t kBlock = 4096;
+
+}  // namespace
 
 void aggregate(std::span<float> global_params,
                std::span<const ClientOutcome> outcomes, AggregationRule rule) {
@@ -20,33 +33,52 @@ void aggregate(std::span<float> global_params,
     total_weight += static_cast<double>(o.samples);
   }
 
+  // Loop order: coordinate blocks outer (parallel), clients middle,
+  // coordinates inner — each client's values/present arrays stream
+  // sequentially instead of being gathered one coordinate at a time across
+  // all clients. Partial sums live in the worker's own Workspace.
   parallel::parallel_for(
       n,
-      [&](std::size_t i) {
-        double acc = 0.0;
-        double present_weight = 0.0;
-        for (const ClientOutcome& o : outcomes) {
-          if (o.present[i] == 0) continue;
-          const auto w = static_cast<double>(o.samples);
-          acc += w * static_cast<double>(o.values[i]);
-          present_weight += w;
-        }
-        const double denom = rule == AggregationRule::kMaskedAverage
-                                 ? total_weight
-                                 : present_weight;
-        if (is_update) {
-          // Missing coordinates simply receive no update.
-          if (denom > 0.0) {
-            global_params[i] += static_cast<float>(acc / denom);
+      [&](std::size_t begin, std::size_t end) {
+        tensor::Workspace::Scope scope;
+        auto& ws = tensor::Workspace::local();
+        auto acc = ws.alloc<double>(kBlock);
+        auto present_weight = ws.alloc<double>(kBlock);
+        for (std::size_t b0 = begin; b0 < end; b0 += kBlock) {
+          const std::size_t len = std::min(kBlock, end - b0);
+          std::fill_n(acc.begin(), len, 0.0);
+          std::fill_n(present_weight.begin(), len, 0.0);
+          for (const ClientOutcome& o : outcomes) {
+            const float* v = o.values.data() + b0;
+            const std::uint8_t* p = o.present.data() + b0;
+            const auto w = static_cast<double>(o.samples);
+            for (std::size_t i = 0; i < len; ++i) {
+              if (p[i] == 0) continue;
+              acc[i] += w * static_cast<double>(v[i]);
+              present_weight[i] += w;
+            }
           }
-        } else {
-          if (rule == AggregationRule::kMaskedAverage) {
-            global_params[i] = static_cast<float>(acc / total_weight);
-          } else if (denom > 0.0) {
-            global_params[i] = static_cast<float>(acc / denom);
+          float* g = global_params.data() + b0;
+          if (is_update) {
+            // Missing coordinates simply receive no update.
+            for (std::size_t i = 0; i < len; ++i) {
+              const double denom = rule == AggregationRule::kMaskedAverage
+                                       ? total_weight
+                                       : present_weight[i];
+              if (denom > 0.0) g[i] += static_cast<float>(acc[i] / denom);
+            }
+          } else if (rule == AggregationRule::kMaskedAverage) {
+            for (std::size_t i = 0; i < len; ++i) {
+              g[i] = static_cast<float>(acc[i] / total_weight);
+            }
+          } else {
+            // Keep the previous global value where no client transmitted.
+            for (std::size_t i = 0; i < len; ++i) {
+              if (present_weight[i] > 0.0) {
+                g[i] = static_cast<float>(acc[i] / present_weight[i]);
+              }
+            }
           }
-          // else: no client transmitted this coordinate — keep the previous
-          // global value.
         }
       },
       outcomes.size() * 2);

@@ -40,6 +40,9 @@ Simulation::Simulation(SimulationConfig cfg, nn::ModelFactory factory,
 
 SimulationResult Simulation::run() {
   tensor::Rng rng(cfg_.seed);
+  // Client streams all derive from one base generator; constructing (and
+  // SplitMix-seeding) it once here instead of per client per round.
+  const tensor::Rng client_rng_base(cfg_.seed);
 
   // Clients with data, eligible for selection.
   std::vector<std::size_t> populated;
@@ -73,9 +76,21 @@ SimulationResult Simulation::run() {
   std::vector<float> global(n);
   tensor::copy(global_model->store().params(), global);
 
+  // Round-scoped buffers hoisted out of the loop so their outer storage is
+  // reused across rounds. (ClientOutcome's inner vectors still come fresh
+  // from each run_client call — only the containers here are retained.)
+  std::vector<std::size_t> selected;
+  selected.reserve(select);
+  std::vector<ClientOutcome> outcomes;
+  std::vector<nn::Model*> free_replicas;
+  free_replicas.reserve(replicas.size());
+  std::vector<std::future<void>> futures;
+  futures.reserve(select);
+  std::mutex replica_mutex;
+
   for (std::size_t round = 1; round <= cfg_.rounds; ++round) {
     // Step 1: select client set C_r.
-    std::vector<std::size_t> selected;
+    selected.clear();
     for (const auto i : rng.sample_without_replacement(populated.size(),
                                                        select)) {
       selected.push_back(populated[i]);
@@ -85,13 +100,12 @@ SimulationResult Simulation::run() {
     // Step 2: parallel local training. Model replicas are leased from a
     // free list: at most pool.size() tasks run concurrently, so the list
     // never runs dry.
-    std::vector<ClientOutcome> outcomes(selected.size());
+    outcomes.clear();
+    outcomes.resize(selected.size());
     {
-      std::mutex replica_mutex;
-      std::vector<nn::Model*> free_replicas;
+      free_replicas.clear();
       for (auto& r : replicas) free_replicas.push_back(r.get());
-      std::vector<std::future<void>> futures;
-      futures.reserve(selected.size());
+      futures.clear();
       for (std::size_t s = 0; s < selected.size(); ++s) {
         const std::size_t client = selected[s];
         futures.push_back(pool.submit([&, s, client] {
@@ -111,9 +125,7 @@ SimulationResult Simulation::run() {
               .dataset = *train_data_,
               .shard = partition_[client],
               .settings = cfg_.train,
-              .rng = tensor::Rng(cfg_.seed)
-                         .split(0x1000 + client)
-                         .split(round),
+              .rng = client_rng_base.split(0x1000 + client).split(round),
           };
           const auto start = Clock::now();
           outcomes[s] = strategy_->run_client(ctx);

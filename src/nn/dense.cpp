@@ -3,7 +3,8 @@
 #include <cmath>
 
 #include "common/check.hpp"
-#include "parallel/thread_pool.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
 
 namespace fedbiad::nn {
 
@@ -32,19 +33,11 @@ void Dense::forward(const ParameterStore& store, const tensor::Matrix& x,
   out.resize(x.rows(), out_);
   const float* w = store.group_params(group_).data();
   const std::size_t stride = in_ + 1;
-  parallel::parallel_for(
-      x.rows(),
-      [&, w](std::size_t b) {
-        const float* xb = x.data() + b * in_;
-        float* ob = out.data() + b * out_;
-        for (std::size_t o = 0; o < out_; ++o) {
-          const float* wr = w + o * stride;
-          float acc = wr[in_];  // bias
-          for (std::size_t i = 0; i < in_; ++i) acc += xb[i] * wr[i];
-          ob[o] = acc;
-        }
-      },
-      out_ * in_);
+  // Strided GEMM: weight rows live every `in_+1` floats with the bias as
+  // the trailing element, addressed in place via ldb/ldbias.
+  tensor::gemm_abt(x.rows(), out_, in_, x.data(), in_, w, stride, out.data(),
+                   out_, /*accumulate=*/false, /*bias=*/w + in_,
+                   /*ldbias=*/stride);
 }
 
 void Dense::backward(ParameterStore& store, const tensor::Matrix& x,
@@ -54,37 +47,16 @@ void Dense::backward(ParameterStore& store, const tensor::Matrix& x,
   const std::size_t batch = x.rows();
   const std::size_t stride = in_ + 1;
   float* dw = store.group_grads(group_).data();
-  // Weight gradient: rows of dW are disjoint across tasks — race-free.
-  parallel::parallel_for(
-      out_,
-      [&, dw](std::size_t o) {
-        float* dwo = dw + o * stride;
-        for (std::size_t b = 0; b < batch; ++b) {
-          const float go = g_out(b, o);
-          if (go == 0.0F) continue;
-          const float* xb = x.data() + b * in_;
-          for (std::size_t i = 0; i < in_; ++i) dwo[i] += go * xb[i];
-          dwo[in_] += go;
-        }
-      },
-      batch * in_);
+  // dW += g_outᵀ · x straight into the strided grad rows.
+  tensor::gemm_atb(out_, in_, batch, g_out.data(), out_, x.data(), in_, dw,
+                   stride);
+  // Bias gradient: column sums of g_out into the strided bias slots.
+  tensor::add_column_sums(batch, out_, g_out.data(), out_, dw + in_, stride);
   if (g_in == nullptr) return;
   const float* w = store.group_params(group_).data();
   g_in->resize(batch, in_);
-  parallel::parallel_for(
-      batch,
-      [&, w](std::size_t b) {
-        const float* gb = g_out.data() + b * out_;
-        float* ib = g_in->data() + b * in_;
-        std::fill(ib, ib + in_, 0.0F);
-        for (std::size_t o = 0; o < out_; ++o) {
-          const float go = gb[o];
-          if (go == 0.0F) continue;
-          const float* wr = w + o * stride;
-          for (std::size_t i = 0; i < in_; ++i) ib[i] += go * wr[i];
-        }
-      },
-      out_ * in_);
+  tensor::gemm_ab(batch, in_, out_, g_out.data(), out_, w, stride,
+                  g_in->data(), in_);
 }
 
 }  // namespace fedbiad::nn

@@ -5,6 +5,9 @@
 
 #include "common/check.hpp"
 #include "parallel/thread_pool.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/workspace.hpp"
 
 namespace fedbiad::nn {
 
@@ -37,163 +40,196 @@ void LstmLayer::init(ParameterStore& store, tensor::Rng& rng) const {
   }
 }
 
+// GEMM formulation: gate pre-activations are z = x·Wxᵀ + b + h_prev·Whᵀ.
+// The input term doesn't depend on the recurrence, so it is computed for
+// the WHOLE sequence in one strided GEMM per gate (Wx_g lives every
+// `row_len` floats inside the unit rows); only the h_prev·Whᵀ term and the
+// elementwise gate math run per timestep. cache.gates holds pre-activations
+// while the GEMMs accumulate, then is activated in place — backward sees
+// the same post-activation layout as always.
 void LstmLayer::forward(const ParameterStore& store,
                         const tensor::Matrix& x_seq, std::size_t batch,
                         std::size_t seq, Cache& cache) const {
   FEDBIAD_CHECK(x_seq.rows() == batch * seq && x_seq.cols() == in_,
                 "lstm forward: input shape mismatch");
   const std::size_t H = hidden_;
+  const std::size_t rows = batch * seq;
   cache.batch = batch;
   cache.seq = seq;
-  cache.gates.resize(batch * seq, 4 * H);
-  cache.c.resize(batch * seq, H);
-  cache.tanh_c.resize(batch * seq, H);
-  cache.h.resize(batch * seq, H);
+  cache.gates.resize(rows, 4 * H);
+  cache.c.resize(rows, H);
+  cache.tanh_c.resize(rows, H);
+  cache.h.resize(rows, H);
 
   const float* w = store.group_params(group_).data();
   const std::size_t stride = row_len();
 
+  for (std::size_t gate = 0; gate < 4; ++gate) {
+    const float* wx = w + wx_offset(gate);
+    tensor::gemm_abt(rows, H, in_, x_seq.data(), in_, wx, stride,
+                     cache.gates.data() + gate * H, 4 * H,
+                     /*accumulate=*/false, /*bias=*/wx + in_,
+                     /*ldbias=*/stride);
+  }
+
+  // The Wh gate panels are invariant across timesteps — pack each once
+  // instead of once per timestep inside gemm_abt.
+  tensor::Workspace::Scope scope;
+  auto& ws = tensor::Workspace::local();
+  float* wh_packed[4] = {};
+  if (seq > 1) {
+    const std::size_t psize = tensor::gemm_packed_size(H, H);
+    for (std::size_t gate = 0; gate < 4; ++gate) {
+      wh_packed[gate] = ws.alloc<float>(psize).data();
+      tensor::gemm_pack_bt(H, H, w + wh_offset(gate), stride,
+                           wh_packed[gate]);
+    }
+  }
+
   for (std::size_t t = 0; t < seq; ++t) {
-    const std::size_t base = t * batch;
-    const float* h_prev =
-        t == 0 ? nullptr : cache.h.data() + (t - 1) * batch * H;
+    float* gates_t = cache.gates.data() + t * batch * 4 * H;
+    if (t > 0) {
+      const float* h_prev = cache.h.data() + (t - 1) * batch * H;
+      for (std::size_t gate = 0; gate < 4; ++gate) {
+        tensor::gemm_abt_packed(batch, H, H, h_prev, H, wh_packed[gate],
+                                gates_t + gate * H, 4 * H,
+                                /*accumulate=*/true);
+      }
+    }
     const float* c_prev =
         t == 0 ? nullptr : cache.c.data() + (t - 1) * batch * H;
     parallel::parallel_for(
         batch,
-        [&, h_prev, c_prev](std::size_t b) {
-          const float* xb = x_seq.data() + (base + b) * in_;
-          const float* hb = h_prev == nullptr ? nullptr : h_prev + b * H;
-          float* gates = cache.gates.data() + (base + b) * 4 * H;
-          float* cb = cache.c.data() + (base + b) * H;
-          float* tcb = cache.tanh_c.data() + (base + b) * H;
-          float* hb_out = cache.h.data() + (base + b) * H;
-          const float* cpb = c_prev == nullptr ? nullptr : c_prev + b * H;
-          for (std::size_t j = 0; j < H; ++j) {
-            const float* row = w + j * stride;
-            float z[4];
-            for (std::size_t gate = 0; gate < 4; ++gate) {
-              const float* wx = row + wx_offset(gate);
-              float acc = wx[in_];  // bias
-              for (std::size_t i = 0; i < in_; ++i) acc += xb[i] * wx[i];
-              if (hb != nullptr) {
-                const float* wh = row + wh_offset(gate);
-                for (std::size_t k = 0; k < H; ++k) acc += hb[k] * wh[k];
-              }
-              z[gate] = acc;
+        [&, gates_t, c_prev, t](std::size_t b0, std::size_t b1) {
+          for (std::size_t b = b0; b < b1; ++b) {
+            float* g4 = gates_t + b * 4 * H;
+            float* cb = cache.c.data() + (t * batch + b) * H;
+            float* tcb = cache.tanh_c.data() + (t * batch + b) * H;
+            float* hb = cache.h.data() + (t * batch + b) * H;
+            const float* cpb = c_prev == nullptr ? nullptr : c_prev + b * H;
+            for (std::size_t j = 0; j < H; ++j) {
+              const float gi = sigmoid(g4[j]);
+              const float gf = sigmoid(g4[H + j]);
+              const float gg = std::tanh(g4[2 * H + j]);
+              const float go = sigmoid(g4[3 * H + j]);
+              g4[j] = gi;
+              g4[H + j] = gf;
+              g4[2 * H + j] = gg;
+              g4[3 * H + j] = go;
+              const float c_in = cpb == nullptr ? 0.0F : cpb[j];
+              const float c_new = gf * c_in + gi * gg;
+              cb[j] = c_new;
+              const float tc = std::tanh(c_new);
+              tcb[j] = tc;
+              hb[j] = go * tc;
             }
-            const float gi = sigmoid(z[0]);
-            const float gf = sigmoid(z[1]);
-            const float gg = std::tanh(z[2]);
-            const float go = sigmoid(z[3]);
-            gates[j] = gi;
-            gates[H + j] = gf;
-            gates[2 * H + j] = gg;
-            gates[3 * H + j] = go;
-            const float c_in = cpb == nullptr ? 0.0F : cpb[j];
-            const float c_new = gf * c_in + gi * gg;
-            cb[j] = c_new;
-            const float tc = std::tanh(c_new);
-            tcb[j] = tc;
-            hb_out[j] = go * tc;
           }
         },
-        4 * H * (in_ + H));
+        16 * H);
   }
 }
 
+// BPTT as GEMMs: the time loop only does the elementwise gate derivatives
+// and the dh recurrence (one small GEMM per gate); the expensive weight and
+// input gradients are batched over the whole sequence afterwards —
+// dWx += dzᵀ·x and dWh += dz[1:]ᵀ·h[:-1] accumulate directly into the
+// strided grad rows, so no per-lane dw_local reduction buffers exist
+// anymore. All temporaries come from the per-thread Workspace: steady-state
+// training allocates nothing.
 void LstmLayer::backward(ParameterStore& store, const tensor::Matrix& x_seq,
                          const Cache& cache, const tensor::Matrix& g_h,
                          tensor::Matrix& g_x) const {
   const std::size_t batch = cache.batch;
   const std::size_t seq = cache.seq;
   const std::size_t H = hidden_;
-  FEDBIAD_CHECK(g_h.rows() == batch * seq && g_h.cols() == H,
+  const std::size_t rows = batch * seq;
+  FEDBIAD_CHECK(g_h.rows() == rows && g_h.cols() == H,
                 "lstm backward: g_h shape mismatch");
-  g_x.resize(batch * seq, in_);
+  g_x.resize(rows, in_);
 
   const float* w = store.group_params(group_).data();
   float* dw = store.group_grads(group_).data();
   const std::size_t stride = row_len();
-  const std::size_t w_size = hidden_ * stride;
 
-  // Batch lanes are independent; weight gradients accumulate into
-  // thread-local buffers merged afterwards (race-free reduction).
-  const std::size_t lanes = batch;
-  std::vector<std::vector<float>> dw_local(lanes);
+  tensor::Workspace::Scope scope;
+  auto& ws = tensor::Workspace::local();
+  float* dz = ws.alloc<float>(rows * 4 * H).data();
+  float* dh = ws.alloc_zero<float>(batch * H).data();
+  float* dc = ws.alloc_zero<float>(batch * H).data();
 
-  parallel::parallel_for(
-      lanes,
-      [&](std::size_t b) {
-        auto& dw_b = dw_local[b];
-        dw_b.assign(w_size, 0.0F);
-        std::vector<float> dh(H, 0.0F);
-        std::vector<float> dc(H, 0.0F);
-        std::vector<float> dz(4 * H);
-        for (std::size_t t = seq; t-- > 0;) {
-          const std::size_t idx = t * batch + b;
-          const float* gates = cache.gates.data() + idx * 4 * H;
-          const float* tc = cache.tanh_c.data() + idx * H;
-          const float* c_prev =
-              t == 0 ? nullptr : cache.c.data() + ((t - 1) * batch + b) * H;
-          const float* h_prev =
-              t == 0 ? nullptr : cache.h.data() + ((t - 1) * batch + b) * H;
-          const float* gh = g_h.data() + idx * H;
-          for (std::size_t j = 0; j < H; ++j) {
-            const float gi = gates[j];
-            const float gf = gates[H + j];
-            const float gg = gates[2 * H + j];
-            const float go = gates[3 * H + j];
-            const float dh_total = dh[j] + gh[j];
-            const float dct = dc[j] + dh_total * go * (1.0F - tc[j] * tc[j]);
-            const float c_in = c_prev == nullptr ? 0.0F : c_prev[j];
-            dz[j] = dct * gg * gi * (1.0F - gi);                  // d pre-i
-            dz[H + j] = dct * c_in * gf * (1.0F - gf);            // d pre-f
-            dz[2 * H + j] = dct * gi * (1.0F - gg * gg);          // d pre-g
-            dz[3 * H + j] = dh_total * tc[j] * go * (1.0F - go);  // d pre-o
-            dc[j] = dct * gf;
-          }
-          const float* xb = x_seq.data() + idx * in_;
-          float* gxb = g_x.data() + idx * in_;
-          std::fill(gxb, gxb + in_, 0.0F);
-          std::fill(dh.begin(), dh.end(), 0.0F);
-          for (std::size_t j = 0; j < H; ++j) {
-            const float* row = w + j * stride;
-            float* drow = dw_b.data() + j * stride;
-            for (std::size_t gate = 0; gate < 4; ++gate) {
-              const float dzr = dz[gate * H + j];
-              if (dzr == 0.0F) continue;
-              const float* wx = row + wx_offset(gate);
-              float* dwx = drow + wx_offset(gate);
-              for (std::size_t i = 0; i < in_; ++i) {
-                dwx[i] += dzr * xb[i];
-                gxb[i] += dzr * wx[i];
-              }
-              dwx[in_] += dzr;  // bias
-              const float* wh = row + wh_offset(gate);
-              if (h_prev != nullptr) {
-                float* dwh = drow + wh_offset(gate);
-                for (std::size_t k = 0; k < H; ++k) {
-                  dwh[k] += dzr * h_prev[k];
-                  dh[k] += dzr * wh[k];
-                }
-              } else {
-                for (std::size_t k = 0; k < H; ++k) dh[k] += dzr * wh[k];
-              }
+  // Wh is reused by the dh recurrence at every timestep; pack once.
+  float* wh_packed[4] = {};
+  if (seq > 1) {
+    const std::size_t psize = tensor::gemm_packed_size(H, H);
+    for (std::size_t gate = 0; gate < 4; ++gate) {
+      wh_packed[gate] = ws.alloc<float>(psize).data();
+      tensor::gemm_pack_b(H, H, w + wh_offset(gate), stride,
+                          wh_packed[gate]);
+    }
+  }
+
+  for (std::size_t t = seq; t-- > 0;) {
+    float* dz_t = dz + t * batch * 4 * H;
+    const float* c_prev =
+        t == 0 ? nullptr : cache.c.data() + (t - 1) * batch * H;
+    parallel::parallel_for(
+        batch,
+        [&, dz_t, c_prev, t](std::size_t b0, std::size_t b1) {
+          for (std::size_t b = b0; b < b1; ++b) {
+            const std::size_t idx = t * batch + b;
+            const float* gates = cache.gates.data() + idx * 4 * H;
+            const float* tc = cache.tanh_c.data() + idx * H;
+            const float* gh = g_h.data() + idx * H;
+            const float* cpb = c_prev == nullptr ? nullptr : c_prev + b * H;
+            float* dhb = dh + b * H;
+            float* dcb = dc + b * H;
+            float* dzb = dz_t + b * 4 * H;
+            for (std::size_t j = 0; j < H; ++j) {
+              const float gi = gates[j];
+              const float gf = gates[H + j];
+              const float gg = gates[2 * H + j];
+              const float go = gates[3 * H + j];
+              const float dh_total = dhb[j] + gh[j];
+              const float dct =
+                  dcb[j] + dh_total * go * (1.0F - tc[j] * tc[j]);
+              const float c_in = cpb == nullptr ? 0.0F : cpb[j];
+              dzb[j] = dct * gg * gi * (1.0F - gi);                 // d pre-i
+              dzb[H + j] = dct * c_in * gf * (1.0F - gf);           // d pre-f
+              dzb[2 * H + j] = dct * gi * (1.0F - gg * gg);         // d pre-g
+              dzb[3 * H + j] = dh_total * tc[j] * go * (1.0F - go); // d pre-o
+              dcb[j] = dct * gf;
             }
           }
-        }
-      },
-      seq * 4 * H * (in_ + H));
+        },
+        32 * H);
+    if (t > 0) {
+      // dh_{t-1} = Σ_gates dz_t[:, gate] · Wh_gate.
+      for (std::size_t gate = 0; gate < 4; ++gate) {
+        tensor::gemm_ab_packed(batch, H, H, dz_t + gate * H, 4 * H,
+                               wh_packed[gate], dh, H,
+                               /*accumulate=*/gate > 0);
+      }
+    }
+  }
 
-  parallel::parallel_for(
-      w_size,
-      [&](std::size_t i) {
-        float acc = 0.0F;
-        for (std::size_t b = 0; b < lanes; ++b) acc += dw_local[b][i];
-        dw[i] += acc;
-      },
-      lanes);
+  for (std::size_t gate = 0; gate < 4; ++gate) {
+    // Bias gradient: column sums of dz[:, gate] into the unit rows' slots.
+    tensor::add_column_sums(rows, H, dz + gate * H, 4 * H,
+                            dw + wx_offset(gate) + in_, stride);
+    // dWx_gate += dz[:, gate]ᵀ · x over the whole sequence.
+    tensor::gemm_atb(H, in_, rows, dz + gate * H, 4 * H, x_seq.data(), in_,
+                     dw + wx_offset(gate), stride);
+    // dWh_gate += dz[1:, gate]ᵀ · h[:-1] — time-major layout makes the
+    // shifted product a single contiguous GEMM over (seq-1)·batch rows.
+    if (seq > 1) {
+      tensor::gemm_atb(H, H, (seq - 1) * batch, dz + batch * 4 * H + gate * H,
+                       4 * H, cache.h.data(), H, dw + wh_offset(gate),
+                       stride);
+    }
+    // g_x = Σ_gates dz[:, gate] · Wx_gate.
+    tensor::gemm_ab(rows, in_, H, dz + gate * H, 4 * H, w + wx_offset(gate),
+                    stride, g_x.data(), in_, /*accumulate=*/gate > 0);
+  }
 }
 
 }  // namespace fedbiad::nn

@@ -5,6 +5,9 @@
 
 #include "common/check.hpp"
 #include "parallel/thread_pool.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/workspace.hpp"
 
 namespace fedbiad::nn {
 
@@ -27,110 +30,111 @@ void RnnLayer::init(ParameterStore& store, tensor::Rng& rng) const {
   }
 }
 
+// GEMM formulation (see lstm.cpp for the full rationale): the x·Wxᵀ + b
+// term is computed for the whole sequence up front; each timestep adds
+// h_{t-1}·Whᵀ into its pre-activation rows and applies tanh in place.
 void RnnLayer::forward(const ParameterStore& store,
                        const tensor::Matrix& x_seq, std::size_t batch,
                        std::size_t seq, Cache& cache) const {
   FEDBIAD_CHECK(x_seq.rows() == batch * seq && x_seq.cols() == in_,
                 "rnn forward: input shape mismatch");
   const std::size_t H = hidden_;
+  const std::size_t rows = batch * seq;
   cache.batch = batch;
   cache.seq = seq;
-  cache.h.resize(batch * seq, H);
+  cache.h.resize(rows, H);
   const float* w = store.group_params(group_).data();
+  const std::size_t stride = row_len();
+
+  tensor::gemm_abt(rows, H, in_, x_seq.data(), in_, w, stride,
+                   cache.h.data(), H, /*accumulate=*/false,
+                   /*bias=*/w + bias_offset(), /*ldbias=*/stride);
+
+  // Wh is invariant across timesteps — pack it once for the time loop.
+  tensor::Workspace::Scope scope;
+  float* wh_packed = nullptr;
+  if (seq > 1) {
+    wh_packed =
+        tensor::Workspace::local().alloc<float>(tensor::gemm_packed_size(H, H))
+            .data();
+    tensor::gemm_pack_bt(H, H, w + wh_offset(), stride, wh_packed);
+  }
   for (std::size_t t = 0; t < seq; ++t) {
-    const std::size_t base = t * batch;
-    const float* h_prev =
-        t == 0 ? nullptr : cache.h.data() + (t - 1) * batch * H;
+    float* h_t = cache.h.data() + t * batch * H;
+    if (t > 0) {
+      tensor::gemm_abt_packed(batch, H, H, h_t - batch * H, H, wh_packed,
+                              h_t, H, /*accumulate=*/true);
+    }
     parallel::parallel_for(
         batch,
-        [&, h_prev](std::size_t b) {
-          const float* xb = x_seq.data() + (base + b) * in_;
-          const float* hb = h_prev == nullptr ? nullptr : h_prev + b * H;
-          float* out = cache.h.data() + (base + b) * H;
-          for (std::size_t j = 0; j < H; ++j) {
-            const float* row = w + j * row_len();
-            float acc = row[bias_offset()];
-            for (std::size_t i = 0; i < in_; ++i) acc += xb[i] * row[i];
-            if (hb != nullptr) {
-              const float* wh = row + wh_offset();
-              for (std::size_t k = 0; k < H; ++k) acc += hb[k] * wh[k];
-            }
-            out[j] = std::tanh(acc);
+        [&, h_t](std::size_t b0, std::size_t b1) {
+          for (std::size_t i = b0 * H; i < b1 * H; ++i) {
+            h_t[i] = std::tanh(h_t[i]);
           }
         },
-        H * (in_ + H));
+        4 * H);
   }
 }
 
+// BPTT as GEMMs: per timestep only the tanh derivative and the dh
+// recurrence; dWx, dWh, db, and g_x are whole-sequence GEMMs accumulating
+// straight into the strided grad rows (no per-lane dw_local buffers).
 void RnnLayer::backward(ParameterStore& store, const tensor::Matrix& x_seq,
                         const Cache& cache, const tensor::Matrix& g_h,
                         tensor::Matrix& g_x) const {
   const std::size_t batch = cache.batch;
   const std::size_t seq = cache.seq;
   const std::size_t H = hidden_;
-  FEDBIAD_CHECK(g_h.rows() == batch * seq && g_h.cols() == H,
+  const std::size_t rows = batch * seq;
+  FEDBIAD_CHECK(g_h.rows() == rows && g_h.cols() == H,
                 "rnn backward: g_h shape mismatch");
-  g_x.resize(batch * seq, in_);
+  g_x.resize(rows, in_);
 
   const float* w = store.group_params(group_).data();
   float* dw = store.group_grads(group_).data();
   const std::size_t stride = row_len();
-  const std::size_t w_size = hidden_ * stride;
-  std::vector<std::vector<float>> dw_local(batch);
 
-  parallel::parallel_for(
-      batch,
-      [&](std::size_t b) {
-        auto& dw_b = dw_local[b];
-        dw_b.assign(w_size, 0.0F);
-        std::vector<float> dh(H, 0.0F);
-        std::vector<float> dz(H);
-        for (std::size_t t = seq; t-- > 0;) {
-          const std::size_t idx = t * batch + b;
-          const float* h = cache.h.data() + idx * H;
-          const float* h_prev =
-              t == 0 ? nullptr : cache.h.data() + ((t - 1) * batch + b) * H;
-          const float* gh = g_h.data() + idx * H;
-          for (std::size_t j = 0; j < H; ++j) {
-            dz[j] = (dh[j] + gh[j]) * (1.0F - h[j] * h[j]);  // tanh'
-          }
-          const float* xb = x_seq.data() + idx * in_;
-          float* gxb = g_x.data() + idx * in_;
-          std::fill(gxb, gxb + in_, 0.0F);
-          std::fill(dh.begin(), dh.end(), 0.0F);
-          for (std::size_t j = 0; j < H; ++j) {
-            const float dzj = dz[j];
-            if (dzj == 0.0F) continue;
-            const float* row = w + j * stride;
-            float* drow = dw_b.data() + j * stride;
-            for (std::size_t i = 0; i < in_; ++i) {
-              drow[i] += dzj * xb[i];
-              gxb[i] += dzj * row[i];
-            }
-            drow[bias_offset()] += dzj;
-            const float* wh = row + wh_offset();
-            if (h_prev != nullptr) {
-              float* dwh = drow + wh_offset();
-              for (std::size_t k = 0; k < H; ++k) {
-                dwh[k] += dzj * h_prev[k];
-                dh[k] += dzj * wh[k];
-              }
-            } else {
-              for (std::size_t k = 0; k < H; ++k) dh[k] += dzj * wh[k];
-            }
-          }
-        }
-      },
-      seq * H * (in_ + H));
+  tensor::Workspace::Scope scope;
+  auto& ws = tensor::Workspace::local();
+  float* dz = ws.alloc<float>(rows * H).data();
+  float* dh = ws.alloc_zero<float>(batch * H).data();
 
-  parallel::parallel_for(
-      w_size,
-      [&](std::size_t i) {
-        float acc = 0.0F;
-        for (std::size_t b = 0; b < batch; ++b) acc += dw_local[b][i];
-        dw[i] += acc;
-      },
-      batch);
+  // Wh is reused by the dh recurrence at every timestep; pack once.
+  float* wh_packed = nullptr;
+  if (seq > 1) {
+    wh_packed = ws.alloc<float>(tensor::gemm_packed_size(H, H)).data();
+    tensor::gemm_pack_b(H, H, w + wh_offset(), stride, wh_packed);
+  }
+
+  for (std::size_t t = seq; t-- > 0;) {
+    float* dz_t = dz + t * batch * H;
+    const float* h_t = cache.h.data() + t * batch * H;
+    const float* gh_t = g_h.data() + t * batch * H;
+    parallel::parallel_for(
+        batch,
+        [&, dz_t, h_t, gh_t](std::size_t b0, std::size_t b1) {
+          for (std::size_t i = b0 * H; i < b1 * H; ++i) {
+            dz_t[i] = (dh[i] + gh_t[i]) * (1.0F - h_t[i] * h_t[i]);  // tanh'
+          }
+        },
+        8 * H);
+    if (t > 0) {
+      tensor::gemm_ab_packed(batch, H, H, dz_t, H, wh_packed, dh, H);
+    }
+  }
+
+  // db: column sums of dz into the strided bias slots.
+  tensor::add_column_sums(rows, H, dz, H, dw + bias_offset(), stride);
+
+  // dWx += dzᵀ · x over the whole sequence.
+  tensor::gemm_atb(H, in_, rows, dz, H, x_seq.data(), in_, dw, stride);
+  // dWh += dz[1:]ᵀ · h[:-1] — one contiguous GEMM in time-major layout.
+  if (seq > 1) {
+    tensor::gemm_atb(H, H, (seq - 1) * batch, dz + batch * H, H,
+                     cache.h.data(), H, dw + wh_offset(), stride);
+  }
+  // g_x = dz · Wx.
+  tensor::gemm_ab(rows, in_, H, dz, H, w, stride, g_x.data(), in_);
 }
 
 }  // namespace fedbiad::nn

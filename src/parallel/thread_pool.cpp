@@ -52,14 +52,21 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::for_each_index(std::size_t n,
                                 const std::function<void(std::size_t)>& fn) {
+  for_each_range(n, [&fn](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::for_each_range(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
   if (is_pool_worker) {  // see note on is_pool_worker above
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    fn(0, n);
     return;
   }
   const std::size_t chunks = std::min(n, size());
   if (chunks <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    fn(0, n);
     return;
   }
   std::latch done(static_cast<std::ptrdiff_t>(chunks));
@@ -70,8 +77,7 @@ void ThreadPool::for_each_index(std::size_t n,
       for (;;) {
         const std::size_t begin = next.fetch_add(step);
         if (begin >= n) break;
-        const std::size_t end = std::min(n, begin + step);
-        for (std::size_t i = begin; i < end; ++i) fn(i);
+        fn(begin, std::min(n, begin + step));
       }
       done.count_down();
     });
@@ -91,6 +97,17 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
     return;
   }
   ThreadPool::global().for_each_index(n, fn);
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  std::size_t grain) {
+  if (n == 0) return;
+  if (n * std::max<std::size_t>(grain, 1) < 2048 || is_pool_worker) {
+    fn(0, n);
+    return;
+  }
+  ThreadPool::global().for_each_range(n, fn);
 }
 
 }  // namespace fedbiad::parallel

@@ -53,6 +53,14 @@ class ThreadPool {
   /// non-worker thread only (no nested parallel_for).
   void for_each_index(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Runs `fn(begin, end)` over disjoint sub-ranges that exactly cover
+  /// [0, n), blocking until all of them have been processed. One `fn` call
+  /// per scheduled chunk — the batched counterpart of for_each_index that
+  /// keeps per-index dispatch out of kernel inner loops.
+  void for_each_range(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
   /// Process-wide pool sized to the machine; used by tensor kernels.
   static ThreadPool& global();
 
@@ -67,8 +75,18 @@ class ThreadPool {
 };
 
 /// Convenience wrapper over the global pool. Falls back to a serial loop for
-/// small `n` where task overhead would dominate.
+/// small `n` where task overhead would dominate. `grain` is the estimated
+/// cost of one index in arbitrary units; `n * grain` decides serial vs pool.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 1);
+
+/// Range-based overload: `fn(begin, end)` is invoked over disjoint chunks
+/// covering [0, n) exactly once each (possibly on the calling thread). The
+/// callee owns the whole half-open range — this is the form every tensor
+/// kernel uses, eliminating the per-index std::function call of the index
+/// overload.
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
                   std::size_t grain = 1);
 
 }  // namespace fedbiad::parallel

@@ -4,7 +4,8 @@
 #include <cmath>
 
 #include "common/check.hpp"
-#include "parallel/thread_pool.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/workspace.hpp"
 
 namespace fedbiad::tensor {
 
@@ -47,64 +48,34 @@ double sum(std::span<const float> x) {
 void matmul_xwt(const Matrix& x, const Matrix& w, Matrix& out) {
   FEDBIAD_CHECK(x.cols() == w.cols(), "matmul_xwt inner dimension mismatch");
   out.resize(x.rows(), w.rows());
-  const std::size_t in = x.cols();
-  const std::size_t flops_per_row = w.rows() * in;
-  parallel::parallel_for(
-      x.rows(),
-      [&](std::size_t b) {
-        const float* xb = x.data() + b * in;
-        float* ob = out.data() + b * w.rows();
-        for (std::size_t o = 0; o < w.rows(); ++o) {
-          const float* wr = w.data() + o * in;
-          float acc = 0.0F;
-          for (std::size_t i = 0; i < in; ++i) acc += xb[i] * wr[i];
-          ob[o] = acc;
-        }
-      },
-      flops_per_row);
+  gemm_abt(x.rows(), w.rows(), x.cols(), x.data(), x.cols(), w.data(),
+           w.cols(), out.data(), out.cols());
 }
 
 void matmul_gw(const Matrix& g, const Matrix& w, Matrix& out) {
   FEDBIAD_CHECK(g.cols() == w.rows(), "matmul_gw inner dimension mismatch");
   out.resize(g.rows(), w.cols());
-  const std::size_t in = w.cols();
-  const std::size_t flops_per_row = g.cols() * in;
-  parallel::parallel_for(
-      g.rows(),
-      [&](std::size_t b) {
-        const float* gb = g.data() + b * g.cols();
-        float* ob = out.data() + b * in;
-        std::fill(ob, ob + in, 0.0F);
-        for (std::size_t o = 0; o < g.cols(); ++o) {
-          const float go = gb[o];
-          if (go == 0.0F) continue;
-          const float* wr = w.data() + o * in;
-          for (std::size_t i = 0; i < in; ++i) ob[i] += go * wr[i];
-        }
-      },
-      flops_per_row);
+  gemm_ab(g.rows(), w.cols(), g.cols(), g.data(), g.cols(), w.data(),
+          w.cols(), out.data(), out.cols());
 }
 
 void accumulate_gtx(const Matrix& g, const Matrix& x, Matrix& dw) {
   FEDBIAD_CHECK(g.rows() == x.rows(), "accumulate_gtx batch mismatch");
   FEDBIAD_CHECK(dw.rows() == g.cols() && dw.cols() == x.cols(),
                 "accumulate_gtx output shape mismatch");
-  const std::size_t in = x.cols();
-  const std::size_t batch = g.rows();
-  // Parallelize over output rows: each task owns disjoint rows of dw, so the
-  // accumulation is race-free without atomics.
-  parallel::parallel_for(
-      dw.rows(),
-      [&](std::size_t o) {
-        float* dwo = dw.data() + o * in;
-        for (std::size_t b = 0; b < batch; ++b) {
-          const float go = g(b, o);
-          if (go == 0.0F) continue;
-          const float* xb = x.data() + b * in;
-          for (std::size_t i = 0; i < in; ++i) dwo[i] += go * xb[i];
-        }
-      },
-      batch * in);
+  gemm_atb(dw.rows(), dw.cols(), g.rows(), g.data(), g.cols(), x.data(),
+           x.cols(), dw.data(), dw.cols());
+}
+
+void add_column_sums(std::size_t rows, std::size_t cols, const float* src,
+                     std::size_t lds, float* dst, std::size_t ldd) {
+  Workspace::Scope scope;
+  auto sums = Workspace::local().alloc_zero<float>(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = src + r * lds;
+    for (std::size_t j = 0; j < cols; ++j) sums[j] += row[j];
+  }
+  for (std::size_t j = 0; j < cols; ++j) dst[j * ldd] += sums[j];
 }
 
 void softmax_rows(Matrix& m) {

@@ -1,8 +1,9 @@
 // Vector and matrix kernels used by the NN layers and the FL engine.
 //
-// All kernels operate on spans over contiguous storage. The GEMM-style
-// kernels parallelize over output rows through parallel_for when the
-// problem is large enough to amortize task overhead.
+// All kernels operate on spans over contiguous storage. The matmul_*
+// entry points are thin shape adapters over the blocked GEMM substrate in
+// tensor/gemm.hpp, which handles cache blocking, register tiling, and
+// parallelization.
 #pragma once
 
 #include <cstddef>
@@ -48,6 +49,13 @@ void matmul_gw(const Matrix& g, const Matrix& w, Matrix& out);
 /// dW += gᵀ · x where g is (B × out_dim), x is (B × in), dW is (out_dim × in).
 /// Weight-gradient kernel paired with matmul_xwt.
 void accumulate_gtx(const Matrix& g, const Matrix& x, Matrix& dw);
+
+/// dst[j * ldd] += Σ_r src[r * lds + j] for j in [0, cols): column sums of
+/// a (rows × cols) panel, accumulated densely and then added into a strided
+/// destination — the shared bias-gradient reduction of the layers whose
+/// bias lives inside strided weight rows (Dense, LstmLayer, RnnLayer).
+void add_column_sums(std::size_t rows, std::size_t cols, const float* src,
+                     std::size_t lds, float* dst, std::size_t ldd);
 
 /// Row-wise softmax in place.
 void softmax_rows(Matrix& m);

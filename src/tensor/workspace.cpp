@@ -1,0 +1,51 @@
+#include "tensor/workspace.hpp"
+
+#include <algorithm>
+
+namespace fedbiad::tensor {
+
+namespace {
+// 64 KiB per chunk: big enough that typical kernel temporaries (a few
+// seq*batch*4H panels) live in one or two chunks.
+constexpr std::size_t kChunkBytes = 1 << 16;
+}  // namespace
+
+Workspace& Workspace::local() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+Workspace::Scope::Scope() : ws_(Workspace::local()) {
+  chunk_ = ws_.active_;
+  used_ = ws_.chunks_.empty() ? 0 : ws_.chunks_[chunk_].used;
+}
+
+Workspace::Scope::~Scope() {
+  for (std::size_t c = chunk_ + 1; c < ws_.chunks_.size(); ++c) {
+    ws_.chunks_[c].used = 0;
+  }
+  if (!ws_.chunks_.empty()) ws_.chunks_[chunk_].used = used_;
+  ws_.active_ = chunk_;
+}
+
+std::byte* Workspace::take(std::size_t bytes) {
+  // Advance past full chunks, reusing retained ones before allocating. An
+  // empty-but-too-small chunk is regrown in place — no live pointers can
+  // reference it. Growing chunks_ itself only moves the Chunk structs, not
+  // their heap buffers, so outstanding allocations stay valid.
+  for (;; ++active_) {
+    if (active_ == chunks_.size()) chunks_.emplace_back();
+    Chunk& c = chunks_[active_];
+    if (c.used == 0 && c.size < bytes) {
+      c.size = std::max(bytes, kChunkBytes);
+      c.data = std::make_unique<std::byte[]>(c.size);
+    }
+    if (c.size - c.used >= bytes) {
+      std::byte* p = c.data.get() + c.used;
+      c.used += bytes;
+      return p;
+    }
+  }
+}
+
+}  // namespace fedbiad::tensor

@@ -108,6 +108,51 @@ TEST(ParallelFor, NestedCallsDoNotDeadlock) {
             static_cast<int>(ThreadPool::global().size() * 4 * 100000));
 }
 
+TEST(ParallelForRange, ChunksPartitionTheRange) {
+  // The range overload must hand out disjoint [begin, end) chunks covering
+  // [0, n) exactly once — every index incremented exactly one time.
+  const std::size_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        ASSERT_LE(begin, end);
+        ASSERT_LE(end, n);
+        for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      },
+      64);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelForRange, SmallAndNestedRunOnCaller) {
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  std::size_t calls = 0;
+  parallel_for(3, [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 3u);
+    seen = std::this_thread::get_id();
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(seen, caller);
+
+  // From a pool worker the range overload degrades to one serial call.
+  std::atomic<std::size_t> nested_calls{0};
+  parallel_for(
+      ThreadPool::global().size() * 2,
+      [&](std::size_t) {
+        parallel_for(
+            100000,
+            [&](std::size_t begin, std::size_t end) {
+              if (begin == 0 && end == 100000) nested_calls.fetch_add(1);
+            },
+            1000);
+      },
+      1 << 20);
+  EXPECT_EQ(nested_calls.load(), ThreadPool::global().size() * 2);
+}
+
 TEST(ThreadPool, NestedForEachFromWorkerRunsSerially) {
   ThreadPool pool(2);
   std::atomic<int> count{0};
