@@ -32,7 +32,9 @@
 #include "data/image_synth.hpp"
 #include "data/partition.hpp"
 #include "data/text_synth.hpp"
+#include "fl/async_simulation.hpp"
 #include "fl/simulation.hpp"
+#include "netsim/client_profile.hpp"
 #include "netsim/tta.hpp"
 #include "nn/lstm_lm_model.hpp"
 #include "nn/mlp_model.hpp"
@@ -240,6 +242,36 @@ inline fl::SimulationResult run_strategy(const Workload& w,
                                          fl::StrategyPtr strategy) {
   fl::Simulation sim(w.sim, w.factory, w.train, w.test, w.partition,
                      std::move(strategy));
+  return sim.run();
+}
+
+/// A mildly hostile fleet for the heterogeneous-timeline sections: device
+/// speeds spread 6×, link rates spread 3×, and 20% stragglers another 4×
+/// slower — the regime where staleness-aware aggregation earns its keep.
+inline netsim::HeterogeneityConfig make_heterogeneity() {
+  netsim::HeterogeneityConfig h;
+  h.seconds_per_unit = 2e-3;
+  h.compute_spread = 6.0;
+  h.bandwidth_spread = 3.0;
+  h.straggler_fraction = 0.2;
+  h.straggler_multiplier = 4.0;
+  return h;
+}
+
+/// Runs `strategy` on the event-driven engine. `rounds` still counts
+/// aggregation commits, so barrier/fedasync/buffered results are comparable
+/// per commit; the virtual clock (RoundRecord::clock_seconds and
+/// sim_time_to_accuracy) is where the engines differ.
+inline fl::SimulationResult run_async_strategy(
+    const Workload& w, fl::StrategyPtr strategy, fl::AggregationMode mode,
+    const netsim::HeterogeneityConfig& fleet, std::size_t buffer_k = 4) {
+  fl::AsyncSimulationConfig cfg;
+  cfg.base = w.sim;
+  cfg.mode = mode;
+  cfg.buffer_size = buffer_k;
+  cfg.heterogeneity = fleet;
+  fl::AsyncSimulation sim(cfg, w.factory, w.train, w.test, w.partition,
+                          std::move(strategy));
   return sim.run();
 }
 

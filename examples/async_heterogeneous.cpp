@@ -1,0 +1,93 @@
+// Straggler-aware federated learning with the event-driven engine.
+//
+// Builds a synthetic image-classification task over 24 clients whose
+// devices and links are heterogeneous (6× compute spread, 3× bandwidth
+// spread, 25% stragglers another 4× slower), then runs FedBIAD under the
+// three aggregation modes:
+//
+//   barrier   — the classic synchronous round: every commit waits for the
+//               slowest selected client.
+//   fedasync  — staleness-weighted merge of every arrival (Xie et al.).
+//   buffered  — semi-async: merge every K=3 arrivals (FedBuff-style).
+//
+// All three perform the same number of aggregation commits; the virtual
+// clock shows how much wall-clock time stragglers cost each of them.
+//
+//   $ ./examples/async_heterogeneous
+#include <cstdio>
+#include <memory>
+
+#include "core/fedbiad_strategy.hpp"
+#include "data/image_synth.hpp"
+#include "data/partition.hpp"
+#include "fl/async_simulation.hpp"
+#include "netsim/tta.hpp"
+#include "nn/mlp_model.hpp"
+#include "smoke.hpp"
+
+int main() {
+  using namespace fedbiad;
+  const bool smoke = examples::smoke();
+
+  // 1. Data: a seeded synthetic MNIST-like task over 24 clients, non-IID.
+  auto data_cfg = data::ImageSynthConfig::mnist_like(/*seed=*/11);
+  data_cfg.train_samples = smoke ? 400 : 2400;
+  data_cfg.test_samples = smoke ? 100 : 400;
+  const auto datasets = data::make_image_datasets(data_cfg);
+  tensor::Rng prng(12);
+  auto partition = data::partition_shards(*datasets.train, 24, 2, prng);
+
+  const nn::MlpConfig model_cfg{.input = 784, .hidden = 64, .classes = 10};
+  auto factory = [model_cfg] {
+    return std::make_unique<nn::MlpModel>(model_cfg);
+  };
+
+  // 2. The fleet: heterogeneous devices and links, drawn from the seed.
+  netsim::HeterogeneityConfig fleet;
+  fleet.seconds_per_unit = 2e-3;
+  fleet.compute_spread = 6.0;
+  fleet.bandwidth_spread = 3.0;
+  fleet.straggler_fraction = 0.25;
+  fleet.straggler_multiplier = 4.0;
+
+  // 3. One FedBIAD config shared by every engine mode.
+  const core::FedBiadConfig biad{.dropout_rate = 0.5,
+                                 .tau = 3,
+                                 .stage_boundary = smoke ? 2UL : 10UL};
+
+  fl::AsyncSimulationConfig cfg;
+  cfg.base.rounds = smoke ? 3 : 12;
+  cfg.base.selection_fraction = 0.25;  // 6 clients in flight
+  cfg.base.train.local_iterations = smoke ? 5 : 15;
+  cfg.base.train.batch_size = 32;
+  cfg.base.train.sgd = {.lr = 0.1F, .weight_decay = 1e-4F, .clip_norm = 5.0F};
+  cfg.base.seed = 42;
+  cfg.buffer_size = 3;
+  cfg.heterogeneity = fleet;
+
+  std::printf("engine    commits  best_acc  virtual_clock  mean_staleness\n");
+  for (const auto mode :
+       {fl::AggregationMode::kBarrier, fl::AggregationMode::kFedAsync,
+        fl::AggregationMode::kBufferedK}) {
+    cfg.mode = mode;
+    auto strategy = std::make_shared<core::FedBiadStrategy>(biad);
+    fl::AsyncSimulation sim(cfg, factory, datasets.train, datasets.test,
+                            partition, strategy);
+    const auto result = sim.run();
+    double staleness = 0.0;
+    for (const auto& r : result.rounds) staleness += r.mean_staleness;
+    staleness /= static_cast<double>(result.rounds.size());
+    std::printf("%-9s %7zu  %7.2f%%  %13s  %14.2f\n",
+                result.engine.c_str(), result.rounds.size(),
+                100.0 * result.best_accuracy(false),
+                netsim::format_seconds(result.rounds.back().clock_seconds)
+                    .c_str(),
+                staleness);
+  }
+  std::printf(
+      "\nThe trade-off: barrier pays virtual-clock time for every straggler\n"
+      "but digests a full wave per commit; fedasync/buffered commit far\n"
+      "faster on stale, smaller batches — compare accuracy against the\n"
+      "clock, not against the commit count.\n");
+  return 0;
+}

@@ -31,6 +31,10 @@ class AfdStrategy final : public fl::Strategy {
   fl::ClientOutcome run_client(fl::ClientContext& ctx) override;
   void end_round(std::size_t round, std::span<const float> old_global,
                  std::span<const float> new_global) override;
+  /// Clients train the server-chosen row-dropped sub-model: ~(1-p).
+  [[nodiscard]] double compute_cost_multiplier() const override {
+    return 1.0 - dropout_rate_;
+  }
 
   /// Server score map (test hook; valid after at least one round).
   [[nodiscard]] const std::vector<double>& row_scores() const {

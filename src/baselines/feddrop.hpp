@@ -15,6 +15,10 @@ class FedDropStrategy final : public fl::Strategy {
 
   [[nodiscard]] std::string name() const override { return "FedDrop"; }
   fl::ClientOutcome run_client(fl::ClientContext& ctx) override;
+  /// Clients train a row-dropped sub-model: ~(1-p) of the dense compute.
+  [[nodiscard]] double compute_cost_multiplier() const override {
+    return 1.0 - dropout_rate_;
+  }
 
  private:
   double dropout_rate_;

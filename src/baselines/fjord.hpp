@@ -20,6 +20,11 @@ class FjordStrategy final : public fl::Strategy {
 
   [[nodiscard]] double width_ratio() const noexcept { return ratio_; }
 
+  /// Width-s sub-models shrink both dimensions of hidden matrices: ~s².
+  [[nodiscard]] double compute_cost_multiplier() const override {
+    return ratio_ * ratio_;
+  }
+
  private:
   WidthPlan plan_;
   double ratio_;

@@ -28,6 +28,13 @@ class HeteroFlStrategy final : public fl::Strategy {
     return levels_;
   }
 
+  /// Population-mean width-s² cost over the static level ladder.
+  [[nodiscard]] double compute_cost_multiplier() const override {
+    double acc = 0.0;
+    for (const double s : levels_) acc += s * s;
+    return levels_.empty() ? 1.0 : acc / static_cast<double>(levels_.size());
+  }
+
  private:
   WidthPlan plan_;
   std::vector<double> levels_;

@@ -46,6 +46,9 @@ class ComposedStrategy final : public fl::Strategy {
     inner_->end_round(round, old_global, new_global);
   }
   fl::ClientOutcome run_client(fl::ClientContext& ctx) override;
+  [[nodiscard]] double compute_cost_multiplier() const override {
+    return inner_->compute_cost_multiplier();
+  }
 
  private:
   fl::StrategyPtr inner_;

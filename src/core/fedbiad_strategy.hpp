@@ -50,6 +50,12 @@ class FedBiadStrategy final : public fl::Strategy {
 
   [[nodiscard]] const FedBiadConfig& config() const noexcept { return cfg_; }
 
+  /// Clients skip dropped rows entirely during local training, so one step
+  /// costs ~(1-p) of the dense model — the LTTR advantage of Fig. 7.
+  [[nodiscard]] double compute_cost_multiplier() const override {
+    return 1.0 - cfg_.dropout_rate;
+  }
+
   /// Weight scores of a client, if it has participated (test hook).
   [[nodiscard]] const WeightScoreVector* client_scores(std::size_t client_id);
 

@@ -1,0 +1,517 @@
+#include "fl/async_simulation.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <future>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "common/check.hpp"
+#include "fl/aggregate.hpp"
+#include "fl/scheduler.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tensor/ops.hpp"
+
+namespace fedbiad::fl {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Barrier: hold the whole wave, release it sorted by selection slot so the
+/// aggregation order (and therefore every float) matches the sync engine.
+class BarrierAggregator final : public AsyncAggregator {
+ public:
+  explicit BarrierAggregator(std::size_t wave_size) : wave_size_(wave_size) {
+    FEDBIAD_CHECK(wave_size_ > 0, "barrier wave size must be positive");
+  }
+  [[nodiscard]] std::string name() const override { return "barrier"; }
+  [[nodiscard]] std::vector<PendingUpdate> offer(PendingUpdate up) override {
+    held_.push_back(std::move(up));
+    if (held_.size() < wave_size_) return {};
+    std::vector<PendingUpdate> batch = std::move(held_);
+    held_.clear();
+    std::sort(batch.begin(), batch.end(),
+              [](const PendingUpdate& a, const PendingUpdate& b) {
+                return a.slot < b.slot;
+              });
+    return batch;
+  }
+  [[nodiscard]] std::size_t buffered() const override { return held_.size(); }
+
+ private:
+  std::size_t wave_size_;
+  std::vector<PendingUpdate> held_;
+};
+
+/// FedAsync: every arrival is its own commit.
+class FedAsyncAggregator final : public AsyncAggregator {
+ public:
+  [[nodiscard]] std::string name() const override { return "fedasync"; }
+  [[nodiscard]] std::vector<PendingUpdate> offer(PendingUpdate up) override {
+    std::vector<PendingUpdate> batch;
+    batch.push_back(std::move(up));
+    return batch;
+  }
+  [[nodiscard]] std::size_t buffered() const override { return 0; }
+};
+
+/// Buffered-K: commit every k-th arrival, batch in arrival order.
+class BufferedAggregator final : public AsyncAggregator {
+ public:
+  explicit BufferedAggregator(std::size_t k) : k_(k) {
+    FEDBIAD_CHECK(k_ > 0, "buffer size must be positive");
+  }
+  [[nodiscard]] std::string name() const override { return "buffered"; }
+  [[nodiscard]] std::vector<PendingUpdate> offer(PendingUpdate up) override {
+    held_.push_back(std::move(up));
+    if (held_.size() < k_) return {};
+    std::vector<PendingUpdate> batch = std::move(held_);
+    held_.clear();
+    return batch;
+  }
+  [[nodiscard]] std::size_t buffered() const override { return held_.size(); }
+
+ private:
+  std::size_t k_;
+  std::vector<PendingUpdate> held_;
+};
+
+/// Staleness-weighted merge (FedAsync / FedBuff semantics): every update is
+/// turned into a delta against the *current* global (parameter-type
+/// outcomes subtract it, update-type outcomes already are one), deltas are
+/// averaged per coordinate over the transmitting clients with weight
+/// |D_k| · (1+τ_k)^-a, and the global takes an α-sized step along the mean.
+void staleness_merge(std::span<float> global,
+                     const std::vector<PendingUpdate>& batch,
+                     const StalenessConfig& cfg, std::size_t commit_version) {
+  FEDBIAD_CHECK(!batch.empty(), "staleness merge with no updates");
+  const std::size_t n = global.size();
+  std::vector<double> weights(batch.size());
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    const PendingUpdate& up = batch[k];
+    FEDBIAD_CHECK(up.outcome.values.size() == n &&
+                      up.outcome.present.size() == n,
+                  "client outcome size mismatch");
+    FEDBIAD_CHECK(up.outcome.samples > 0, "client outcome without samples");
+    FEDBIAD_CHECK(commit_version >= up.dispatch_version,
+                  "update from the future");
+    const auto staleness =
+        static_cast<double>(commit_version - up.dispatch_version);
+    weights[k] = static_cast<double>(up.outcome.samples) *
+                 std::pow(1.0 + staleness, -cfg.exponent);
+  }
+  parallel::parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          double acc = 0.0;
+          double weight = 0.0;
+          for (std::size_t k = 0; k < batch.size(); ++k) {
+            const PendingUpdate& up = batch[k];
+            if (up.outcome.present[i] == 0) continue;
+            const double v = static_cast<double>(up.outcome.values[i]);
+            const double delta =
+                up.outcome.is_update ? v : v - static_cast<double>(global[i]);
+            acc += weights[k] * delta;
+            weight += weights[k];
+          }
+          if (weight > 0.0) {
+            global[i] += static_cast<float>(cfg.mixing_rate * acc / weight);
+          }
+        }
+      },
+      batch.size() * 2);
+}
+
+}  // namespace
+
+const char* to_string(AggregationMode mode) {
+  switch (mode) {
+    case AggregationMode::kBarrier:
+      return "barrier";
+    case AggregationMode::kFedAsync:
+      return "fedasync";
+    case AggregationMode::kBufferedK:
+      return "buffered";
+  }
+  return "?";
+}
+
+std::unique_ptr<AsyncAggregator> make_barrier_aggregator(
+    std::size_t wave_size) {
+  return std::make_unique<BarrierAggregator>(wave_size);
+}
+
+std::unique_ptr<AsyncAggregator> make_fedasync_aggregator() {
+  return std::make_unique<FedAsyncAggregator>();
+}
+
+std::unique_ptr<AsyncAggregator> make_buffered_aggregator(std::size_t k) {
+  return std::make_unique<BufferedAggregator>(k);
+}
+
+AsyncSimulation::AsyncSimulation(AsyncSimulationConfig cfg,
+                                 nn::ModelFactory factory,
+                                 data::DatasetPtr train_data,
+                                 data::DatasetPtr test_data,
+                                 data::Partition partition,
+                                 StrategyPtr strategy)
+    : cfg_(std::move(cfg)),
+      factory_(std::move(factory)),
+      train_data_(std::move(train_data)),
+      test_data_(std::move(test_data)),
+      partition_(std::move(partition)),
+      strategy_(std::move(strategy)) {
+  FEDBIAD_CHECK(factory_ != nullptr, "model factory required");
+  FEDBIAD_CHECK(train_data_ && test_data_, "datasets required");
+  FEDBIAD_CHECK(strategy_ != nullptr, "strategy required");
+  FEDBIAD_CHECK(!partition_.empty(), "need at least one client");
+  FEDBIAD_CHECK(cfg_.staleness.mixing_rate > 0.0 &&
+                    cfg_.staleness.mixing_rate <= 1.0,
+                "staleness mixing rate must be in (0, 1]");
+  FEDBIAD_CHECK(cfg_.staleness.exponent >= 0.0,
+                "staleness exponent must be non-negative");
+  FEDBIAD_CHECK(cfg_.buffer_size > 0, "buffer size must be positive");
+}
+
+SimulationResult AsyncSimulation::run() {
+  const SimulationConfig& base = cfg_.base;
+  tensor::Rng rng(base.seed);
+  const tensor::Rng client_rng_base(base.seed);
+
+  std::vector<std::size_t> populated;
+  for (std::size_t k = 0; k < partition_.size(); ++k) {
+    if (!partition_[k].empty()) populated.push_back(k);
+  }
+  FEDBIAD_CHECK(!populated.empty(), "every client shard is empty");
+  const std::size_t select = std::max<std::size_t>(
+      1, static_cast<std::size_t>(base.selection_fraction *
+                                  static_cast<double>(partition_.size())));
+  FEDBIAD_CHECK(select <= populated.size(),
+                "selection fraction exceeds populated clients");
+
+  // Profiles come from a split of the base seed, not from `rng`: the main
+  // selection stream must consume exactly the same draws as the sync engine
+  // regardless of the heterogeneity config.
+  const std::vector<netsim::ClientProfile> profiles = netsim::make_profiles(
+      partition_.size(), cfg_.heterogeneity, base.link, rng.split(0xA11C));
+
+  auto global_model = factory_();
+  {
+    tensor::Rng init_rng = rng.split(0xF0F0);
+    global_model->init_params(init_rng);
+  }
+  const std::size_t n = global_model->store().size();
+
+  SimulationResult result;
+  result.strategy = strategy_->name();
+  result.engine = to_string(cfg_.mode);
+  result.rounds.reserve(base.rounds);
+
+  std::vector<float> global(n);
+  tensor::copy(global_model->store().params(), global);
+
+  // One in-flight record per dispatched client. std::deque keeps element
+  // addresses stable, so scheduler events and pool tasks can hold Job*.
+  struct Job {
+    std::size_t client = 0;
+    std::size_t slot = 0;
+    std::size_t version = 0;
+    double dispatch_clock = 0.0;
+    double download_s = 0.0;
+    double compute_s = 0.0;
+    /// Global params at dispatch — shared by every job of the same version
+    /// (the global only changes at commits, so one copy per version).
+    std::shared_ptr<const std::vector<float>> snapshot;
+    std::future<ClientOutcome> future;
+    std::unique_ptr<PendingUpdate> pending;  ///< set once the upload starts
+  };
+  std::deque<Job> jobs;
+  std::shared_ptr<const std::vector<float>> version_snapshot;
+
+  EventScheduler sched;
+  std::unique_ptr<AsyncAggregator> aggregator;
+  switch (cfg_.mode) {
+    case AggregationMode::kBarrier:
+      aggregator = make_barrier_aggregator(select);
+      break;
+    case AggregationMode::kFedAsync:
+      aggregator = make_fedasync_aggregator();
+      break;
+    case AggregationMode::kBufferedK:
+      aggregator = make_buffered_aggregator(cfg_.buffer_size);
+      break;
+  }
+
+  std::size_t version = 0;             // commits done so far
+  std::size_t dispatched = 0;          // clients sent out so far
+  std::map<std::size_t, Job*> busy;    // clients currently in flight
+  const bool barrier = cfg_.mode == AggregationMode::kBarrier;
+  const std::size_t per_commit =
+      cfg_.mode == AggregationMode::kBufferedK ? cfg_.buffer_size : 1;
+  // Async modes: every dispatch yields exactly one arrival, and commits
+  // consume per_commit arrivals, so the total dispatch budget is fixed.
+  const std::size_t dispatch_budget =
+      barrier ? base.rounds * select : base.rounds * per_commit;
+
+  // The pool is declared after everything its worker tasks reference
+  // (jobs, replicas, the free list and its mutex), so its destructor —
+  // which drains queued tasks and joins — runs before any of them die,
+  // even on an exceptional unwind.
+  std::vector<std::unique_ptr<nn::Model>> replicas;
+  std::vector<nn::Model*> free_replicas;
+  std::mutex replica_mutex;
+  parallel::ThreadPool pool(base.threads);
+  replicas.resize(pool.size());
+  for (auto& r : replicas) {
+    r = factory_();
+    free_replicas.push_back(r.get());
+  }
+
+  // --- engine-thread helpers (all run in scheduler event context) ---
+
+  auto work_units = [&](std::size_t client) {
+    const double samples = static_cast<double>(std::min<std::size_t>(
+        base.train.batch_size, partition_[client].size()));
+    return static_cast<double>(base.train.local_iterations) * samples *
+           strategy_->compute_cost_multiplier();
+  };
+
+  std::function<void(Job&)> on_arrival;  // assigned below (needs commit)
+
+  auto on_training_done = [&](Job& job) {
+    ClientOutcome out = job.future.get();
+    out.client_id = job.client;
+    // The pool task is done with the snapshot; drop this job's reference.
+    job.snapshot.reset();
+    auto up = std::make_unique<PendingUpdate>();
+    up->slot = job.slot;
+    up->dispatch_version = job.version;
+    up->dispatch_clock = job.dispatch_clock;
+    up->compute_seconds = job.compute_s;
+    up->download_seconds = job.download_s;
+    up->upload_seconds = profiles[job.client].upload_seconds(out.uplink_bytes);
+    up->outcome = std::move(out);
+    job.pending = std::move(up);
+    Job* jp = &job;
+    sched.schedule_after(job.pending->upload_seconds, [&, jp] {
+      jp->pending->arrival_clock = sched.now();
+      busy.erase(jp->client);
+      on_arrival(*jp);
+    });
+  };
+
+  auto dispatch = [&](std::size_t client, std::size_t slot,
+                      std::uint64_t rng_stream) {
+    jobs.emplace_back();
+    Job& job = jobs.back();
+    job.client = client;
+    job.slot = slot;
+    job.version = version;
+    job.dispatch_clock = sched.now();
+    const auto& prof = profiles[client];
+    job.download_s = prof.download_seconds(strategy_->downlink_bytes(n));
+    job.compute_s = prof.compute_seconds(work_units(client));
+    if (!version_snapshot) {
+      version_snapshot = std::make_shared<const std::vector<float>>(global);
+    }
+    job.snapshot = version_snapshot;
+    busy[client] = &job;
+    ++dispatched;
+    const std::size_t round = version + 1;
+    tensor::Rng ctx_rng =
+        client_rng_base.split(0x1000 + client).split(rng_stream);
+    Job* jp = &job;
+    job.future = pool.submit([&, jp, client, round, ctx_rng] {
+      nn::Model* replica = nullptr;
+      {
+        std::scoped_lock lock(replica_mutex);
+        FEDBIAD_CHECK(!free_replicas.empty(), "replica lease exhausted");
+        replica = free_replicas.back();
+        free_replicas.pop_back();
+      }
+      tensor::copy(*jp->snapshot, replica->store().params());
+      ClientContext ctx{
+          .client_id = client,
+          .round = round,
+          .model = *replica,
+          .global_params = *jp->snapshot,
+          .dataset = *train_data_,
+          .shard = partition_[client],
+          .settings = base.train,
+          .rng = ctx_rng,
+          .model_version = jp->version,
+          .dispatch_clock = jp->dispatch_clock,
+      };
+      const auto start = Clock::now();
+      ClientOutcome out = strategy_->run_client(ctx);
+      out.train_seconds = seconds_since(start);
+      out.client_id = client;
+      {
+        std::scoped_lock lock(replica_mutex);
+        free_replicas.push_back(replica);
+      }
+      return out;
+    });
+    sched.schedule_after(job.download_s + job.compute_s,
+                         [&, jp] { on_training_done(*jp); });
+  };
+
+  // Barrier: one synchronized wave per round, selected exactly like the
+  // sync engine (same rng draws, same order).
+  auto dispatch_wave = [&] {
+    const auto picks = rng.sample_without_replacement(populated.size(), select);
+    strategy_->begin_round(version + 1, global);
+    std::size_t slot = 0;
+    for (const auto i : picks) dispatch(populated[i], slot++, version + 1);
+  };
+
+  // Async modes: keep `select` clients in flight until the dispatch budget
+  // is spent. Replacements are drawn uniformly from the idle populated
+  // clients on the engine thread, so the choice is deterministic.
+  auto top_up = [&] {
+    while (dispatched < dispatch_budget && busy.size() < select) {
+      std::vector<std::size_t> avail;
+      for (const std::size_t k : populated) {
+        if (busy.find(k) == busy.end()) avail.push_back(k);
+      }
+      if (avail.empty()) break;
+      const std::size_t client = avail[rng.uniform_index(avail.size())];
+      dispatch(client, 0, 0x10000 + dispatched);
+    }
+  };
+
+  auto evaluate_into = [&](RoundRecord& rec) {
+    if (rec.round % base.eval_every == 0 || rec.round == base.rounds) {
+      nn::EvalResult eval;
+      data::for_each_batch(*test_data_, base.eval_batch_size,
+                           [&](const data::Batch& batch) {
+                             eval.merge(global_model->eval_batch(
+                                 batch, base.train.topk));
+                           });
+      rec.test_loss = eval.mean_loss();
+      rec.top1 = eval.top1_accuracy();
+      rec.topk = eval.topk_accuracy();
+    } else if (!result.rounds.empty()) {
+      rec.test_loss = result.rounds.back().test_loss;
+      rec.top1 = result.rounds.back().top1;
+      rec.topk = result.rounds.back().topk;
+    }
+  };
+
+  auto commit = [&](std::vector<PendingUpdate> batch) {
+    if (!barrier) {
+      // The Strategy contract promises begin_round/end_round never overlap
+      // a run_client on a worker thread (AFD's pattern broadcast and score
+      // map rely on it). Async commits fire while other clients are still
+      // in virtual flight, so block on their *real* computation here —
+      // outcomes depend only on their dispatch snapshots, so the
+      // trajectory is unchanged; only wall-clock overlap is traded away at
+      // commit points. Barrier commits only run after the wave drained.
+      for (auto& [client, jp] : busy) {
+        (void)client;
+        if (jp->future.valid()) jp->future.wait();
+      }
+    }
+    const auto agg_start = Clock::now();
+    double staleness_acc = 0.0;
+    if (barrier) {
+      // The sync path, bit for bit: outcomes in selection-slot order
+      // through fl::aggregate under the strategy's rule.
+      std::vector<ClientOutcome> outcomes;
+      outcomes.reserve(batch.size());
+      for (PendingUpdate& up : batch) outcomes.push_back(std::move(up.outcome));
+      aggregate(global, outcomes, strategy_->aggregation_rule());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        batch[i].outcome = std::move(outcomes[i]);
+      }
+    } else {
+      staleness_merge(global, batch, cfg_.staleness, version);
+      for (const PendingUpdate& up : batch) {
+        staleness_acc += static_cast<double>(version - up.dispatch_version);
+      }
+    }
+    const double agg_seconds = seconds_since(agg_start);
+    strategy_->end_round(version + 1, global_model->store().params(), global);
+    tensor::copy(global, global_model->store().params());
+    version_snapshot.reset();  // the global changed; next dispatch re-copies
+    ++version;
+
+    RoundRecord rec;
+    rec.round = version;
+    rec.participants = batch.size();
+    double loss_acc = 0.0;
+    for (const PendingUpdate& up : batch) {
+      const ClientOutcome& o = up.outcome;
+      loss_acc += o.mean_loss;
+      rec.uplink_bytes_total += o.uplink_bytes;
+      rec.uplink_bytes_max = std::max(rec.uplink_bytes_max, o.uplink_bytes);
+      rec.lttr_seconds = std::max(rec.lttr_seconds, o.train_seconds);
+      rec.upload_seconds = std::max(rec.upload_seconds, up.upload_seconds);
+    }
+    rec.train_loss = loss_acc / static_cast<double>(batch.size());
+    rec.downlink_bytes = strategy_->downlink_bytes(n);
+    for (const PendingUpdate& up : batch) {
+      rec.download_seconds = std::max(
+          rec.download_seconds,
+          profiles[up.outcome.client_id].download_seconds(rec.downlink_bytes));
+    }
+    rec.aggregate_seconds = agg_seconds;
+    rec.clock_seconds = sched.now();
+    rec.mean_staleness = staleness_acc / static_cast<double>(batch.size());
+    evaluate_into(rec);
+
+    if (base.verbose) {
+      std::cerr << "[" << result.strategy << "] round " << rec.round
+                << " train_loss=" << rec.train_loss << " test_acc(top"
+                << base.train.topk << ")=" << rec.topk << " upload="
+                << rec.uplink_bytes_total / rec.participants << "B\n";
+    }
+    result.rounds.push_back(rec);
+
+    if (version < base.rounds) {
+      if (barrier) {
+        dispatch_wave();
+      } else {
+        strategy_->begin_round(version + 1, global);
+      }
+    }
+  };
+
+  on_arrival = [&](Job& job) {
+    PendingUpdate up = std::move(*job.pending);
+    job.pending.reset();
+    auto batch = aggregator->offer(std::move(up));
+    if (!batch.empty()) commit(std::move(batch));
+    if (!barrier) top_up();
+  };
+
+  // --- timeline ---
+  if (barrier) {
+    dispatch_wave();
+  } else {
+    strategy_->begin_round(1, global);
+    top_up();
+  }
+  while (version < base.rounds && sched.run_next()) {
+  }
+  FEDBIAD_CHECK(version == base.rounds, "event queue drained early");
+  for (Job& job : jobs) {
+    if (job.future.valid()) job.future.wait();
+  }
+
+  result.final_params = std::move(global);
+  return result;
+}
+
+}  // namespace fedbiad::fl

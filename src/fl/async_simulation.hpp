@@ -1,0 +1,115 @@
+// Event-driven federated simulation engine.
+//
+// Where fl::Simulation runs a lock-step round loop, this engine runs a
+// virtual-clock timeline: every dispatched client takes
+//   download → local compute → upload
+// virtual seconds (drawn from its netsim::ClientProfile), and its update
+// becomes visible to the server only when the upload arrives. What the
+// server does with arrivals is pluggable through AsyncAggregator:
+//
+//   kBarrier   — wait for the whole selection wave, then aggregate exactly
+//                like the sync engine (bit-equivalent trajectories; the
+//                legacy Simulation::run is a thin adapter over this mode).
+//   kFedAsync  — merge every arrival immediately with a polynomial
+//                staleness weight (Xie et al., FedAsync).
+//   kBufferedK — semi-async: buffer K arrivals, then merge the buffer with
+//                staleness-weighted deltas (FedBuff-style).
+//
+// Determinism: all server-side decisions happen on the engine thread in
+// (virtual time, insertion seq) event order; client training runs on the
+// thread pool but against a parameter snapshot taken at dispatch (one
+// shared copy per model version) and a (client, dispatch)-keyed Rng
+// stream, so trajectories are identical for any worker-thread count.
+// Async commits quiesce outstanding training (real time only — the
+// virtual timeline is unaffected) before invoking begin_round/end_round,
+// preserving the Strategy contract that server hooks never overlap
+// run_client.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/partition.hpp"
+#include "fl/metrics.hpp"
+#include "fl/simulation.hpp"
+#include "fl/strategy.hpp"
+#include "netsim/client_profile.hpp"
+
+namespace fedbiad::fl {
+
+enum class AggregationMode { kBarrier, kFedAsync, kBufferedK };
+
+[[nodiscard]] const char* to_string(AggregationMode mode);
+
+/// Staleness weighting for the async modes: an arrival whose snapshot is τ
+/// versions old is merged with step size mixing_rate · (1+τ)^-exponent.
+struct StalenessConfig {
+  double mixing_rate = 0.6;  ///< α; 1 with exponent 0 disables damping
+  double exponent = 0.5;     ///< polynomial staleness decay a
+};
+
+/// One client update travelling from training completion to aggregation.
+struct PendingUpdate {
+  ClientOutcome outcome;
+  std::size_t slot = 0;              ///< selection-order slot in its wave
+  std::size_t dispatch_version = 0;  ///< global version of its snapshot
+  double dispatch_clock = 0.0;
+  double arrival_clock = 0.0;
+  double compute_seconds = 0.0;  ///< virtual local-training time
+  double download_seconds = 0.0;
+  double upload_seconds = 0.0;
+};
+
+/// Server-side commit policy: decides, per arrival, whether a batch of
+/// updates is committed into the global model now. Implementations are
+/// called from the engine thread only.
+class AsyncAggregator {
+ public:
+  virtual ~AsyncAggregator() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Offers one arrived update. Returns the batch to commit now in
+  /// deterministic commit order, or an empty vector to keep buffering.
+  [[nodiscard]] virtual std::vector<PendingUpdate> offer(
+      PendingUpdate update) = 0;
+  /// Updates currently held back.
+  [[nodiscard]] virtual std::size_t buffered() const = 0;
+};
+
+/// Barrier: commit when all `wave_size` updates of the wave have arrived,
+/// ordered by selection slot — the sync engine's semantics.
+std::unique_ptr<AsyncAggregator> make_barrier_aggregator(std::size_t wave_size);
+/// FedAsync: every arrival commits immediately.
+std::unique_ptr<AsyncAggregator> make_fedasync_aggregator();
+/// Buffered-K: commit every k arrivals, in arrival order.
+std::unique_ptr<AsyncAggregator> make_buffered_aggregator(std::size_t k);
+
+struct AsyncSimulationConfig {
+  SimulationConfig base;  ///< rounds = number of commits (= sync rounds)
+  AggregationMode mode = AggregationMode::kBarrier;
+  StalenessConfig staleness;
+  std::size_t buffer_size = 4;  ///< K for kBufferedK
+  /// Per-client device/link heterogeneity; homogeneous by default.
+  netsim::HeterogeneityConfig heterogeneity;
+};
+
+class AsyncSimulation {
+ public:
+  AsyncSimulation(AsyncSimulationConfig cfg, nn::ModelFactory factory,
+                  data::DatasetPtr train_data, data::DatasetPtr test_data,
+                  data::Partition partition, StrategyPtr strategy);
+
+  /// Runs the event-driven simulation until cfg.base.rounds commits.
+  SimulationResult run();
+
+ private:
+  AsyncSimulationConfig cfg_;
+  nn::ModelFactory factory_;
+  data::DatasetPtr train_data_;
+  data::DatasetPtr test_data_;
+  data::Partition partition_;
+  StrategyPtr strategy_;
+};
+
+}  // namespace fedbiad::fl

@@ -34,6 +34,15 @@ std::optional<double> SimulationResult::time_to_accuracy(double target,
   return std::nullopt;
 }
 
+std::optional<double> SimulationResult::sim_time_to_accuracy(
+    double target, bool use_topk) const {
+  for (const RoundRecord& r : rounds) {
+    const double acc = use_topk ? r.topk : r.top1;
+    if (acc >= target) return r.clock_seconds;
+  }
+  return std::nullopt;
+}
+
 double SimulationResult::best_accuracy(bool use_topk) const {
   double best = 0.0;
   for (const RoundRecord& r : rounds) {
@@ -57,14 +66,15 @@ double SimulationResult::mean_lttr_seconds() const {
 void SimulationResult::write_csv(std::ostream& os) const {
   os << "round,train_loss,test_loss,top1,topk,uplink_total_bytes,"
         "uplink_max_bytes,downlink_bytes,lttr_s,upload_s,download_s,"
-        "aggregate_s,wall_s\n";
+        "aggregate_s,wall_s,clock_s,mean_staleness\n";
   for (const RoundRecord& r : rounds) {
     os << r.round << ',' << r.train_loss << ',' << r.test_loss << ','
        << r.top1 << ',' << r.topk << ',' << r.uplink_bytes_total << ','
        << r.uplink_bytes_max << ',' << r.downlink_bytes << ','
        << r.lttr_seconds << ',' << r.upload_seconds << ','
        << r.download_seconds << ',' << r.aggregate_seconds << ','
-       << r.wall_seconds() << '\n';
+       << r.wall_seconds() << ',' << r.clock_seconds << ','
+       << r.mean_staleness << '\n';
   }
 }
 

@@ -25,6 +25,16 @@ struct RoundRecord {
   double upload_seconds = 0.0;      ///< slowest client's upload
   double download_seconds = 0.0;
   double aggregate_seconds = 0.0;
+  /// Virtual-clock time at which this round's aggregation committed. Every
+  /// engine reports it — the sync adapter runs over the default homogeneous
+  /// fleet, so its value is the barrier timeline of identical devices
+  /// (useful as the baseline against heterogeneous/async runs, not a
+  /// measured wall time).
+  double clock_seconds = 0.0;
+  /// Mean staleness (global versions committed between a participant's
+  /// dispatch and its merge) over this round's participants. Always 0 for
+  /// synchronous/barrier aggregation.
+  double mean_staleness = 0.0;
   /// Simulated device-side round time: download + local training + upload +
   /// aggregation (clients run in parallel, so max-per-client terms are used).
   [[nodiscard]] double wall_seconds() const {
@@ -35,6 +45,7 @@ struct RoundRecord {
 
 struct SimulationResult {
   std::string strategy;
+  std::string engine = "sync";  ///< "sync", "barrier", "fedasync", "buffered"
   std::vector<RoundRecord> rounds;
   std::vector<float> final_params;
 
@@ -50,6 +61,13 @@ struct SimulationResult {
   /// of wall_seconds over rounds up to and including the reaching round.
   [[nodiscard]] std::optional<double> time_to_accuracy(double target,
                                                        bool use_topk) const;
+
+  /// Event-driven TTA: the virtual-clock timestamp of the first commit whose
+  /// accuracy reaches `target`. Unlike time_to_accuracy this accounts for
+  /// overlap between clients (stragglers don't serialize the timeline under
+  /// async aggregation). Only meaningful for event-driven runs.
+  [[nodiscard]] std::optional<double> sim_time_to_accuracy(
+      double target, bool use_topk) const;
 
   [[nodiscard]] double best_accuracy(bool use_topk) const;
   [[nodiscard]] double final_accuracy(bool use_topk) const;

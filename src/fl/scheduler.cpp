@@ -1,0 +1,37 @@
+#include "fl/scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace fedbiad::fl {
+
+void EventScheduler::schedule_at(double time, Callback cb) {
+  FEDBIAD_CHECK(time >= now_, "cannot schedule an event in the past");
+  FEDBIAD_CHECK(cb != nullptr, "event callback required");
+  heap_.push_back(Event{time, next_seq_++, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+void EventScheduler::schedule_after(double delay, Callback cb) {
+  FEDBIAD_CHECK(delay >= 0.0, "event delay must be non-negative");
+  schedule_at(now_ + delay, std::move(cb));
+}
+
+bool EventScheduler::run_next() {
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  now_ = ev.time;
+  ev.cb();
+  return true;
+}
+
+void EventScheduler::run() {
+  while (run_next()) {
+  }
+}
+
+}  // namespace fedbiad::fl

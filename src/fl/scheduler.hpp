@@ -1,0 +1,63 @@
+// Virtual-clock event scheduler for the event-driven simulation engine.
+//
+// The scheduler owns a deterministic timeline: events are executed in
+// (time, insertion-sequence) order, so two runs that schedule the same
+// events observe exactly the same interleaving regardless of how many OS
+// threads execute the underlying work. Real computation (client training)
+// happens elsewhere; the scheduler only decides *when*, in simulated
+// seconds, its results become visible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace fedbiad::fl {
+
+class EventScheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time in seconds. Starts at 0 and only moves forward.
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Number of events not yet executed.
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+
+  /// Schedules `cb` at absolute virtual time `time` (must be >= now()).
+  /// Events at equal times run in the order they were scheduled.
+  void schedule_at(double time, Callback cb);
+
+  /// Schedules `cb` `delay` virtual seconds from now (delay must be >= 0).
+  void schedule_after(double delay, Callback cb);
+
+  /// Pops the earliest event, advances the clock to its time, and runs it.
+  /// The callback may schedule further events. Returns false when no event
+  /// was pending.
+  bool run_next();
+
+  /// Runs events until the queue is empty.
+  void run();
+
+ private:
+  struct Event {
+    double time = 0.0;
+    std::uint64_t seq = 0;  ///< insertion order, breaks time ties
+    Callback cb;
+  };
+
+  // Min-heap on (time, seq) via std::push_heap/std::pop_heap so the popped
+  // event can be moved out (std::priority_queue::top is const).
+  static bool later(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+
+  std::vector<Event> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace fedbiad::fl

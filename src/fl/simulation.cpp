@@ -1,27 +1,11 @@
 #include "fl/simulation.hpp"
 
-#include <algorithm>
-#include <chrono>
-#include <future>
-#include <iostream>
-#include <mutex>
+#include <utility>
 
 #include "common/check.hpp"
-#include "fl/aggregate.hpp"
-#include "parallel/thread_pool.hpp"
-#include "tensor/ops.hpp"
+#include "fl/async_simulation.hpp"
 
 namespace fedbiad::fl {
-
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-}  // namespace
 
 Simulation::Simulation(SimulationConfig cfg, nn::ModelFactory factory,
                        data::DatasetPtr train_data, data::DatasetPtr test_data,
@@ -39,159 +23,16 @@ Simulation::Simulation(SimulationConfig cfg, nn::ModelFactory factory,
 }
 
 SimulationResult Simulation::run() {
-  tensor::Rng rng(cfg_.seed);
-  // Client streams all derive from one base generator; constructing (and
-  // SplitMix-seeding) it once here instead of per client per round.
-  const tensor::Rng client_rng_base(cfg_.seed);
-
-  // Clients with data, eligible for selection.
-  std::vector<std::size_t> populated;
-  for (std::size_t k = 0; k < partition_.size(); ++k) {
-    if (!partition_[k].empty()) populated.push_back(k);
-  }
-  FEDBIAD_CHECK(!populated.empty(), "every client shard is empty");
-  const std::size_t select = std::max<std::size_t>(
-      1, static_cast<std::size_t>(cfg_.selection_fraction *
-                                  static_cast<double>(partition_.size())));
-  FEDBIAD_CHECK(select <= populated.size(),
-                "selection fraction exceeds populated clients");
-
-  parallel::ThreadPool pool(cfg_.threads);
-
-  // One model replica per worker plus one for the engine (global + eval).
-  auto global_model = factory_();
-  {
-    tensor::Rng init_rng = rng.split(0xF0F0);
-    global_model->init_params(init_rng);
-  }
-  const std::size_t n = global_model->store().size();
-
-  std::vector<std::unique_ptr<nn::Model>> replicas(pool.size());
-  for (auto& r : replicas) r = factory_();
-
-  SimulationResult result;
-  result.strategy = strategy_->name();
-  result.rounds.reserve(cfg_.rounds);
-
-  std::vector<float> global(n);
-  tensor::copy(global_model->store().params(), global);
-
-  // Round-scoped buffers hoisted out of the loop so their outer storage is
-  // reused across rounds. (ClientOutcome's inner vectors still come fresh
-  // from each run_client call — only the containers here are retained.)
-  std::vector<std::size_t> selected;
-  selected.reserve(select);
-  std::vector<ClientOutcome> outcomes;
-  std::vector<nn::Model*> free_replicas;
-  free_replicas.reserve(replicas.size());
-  std::vector<std::future<void>> futures;
-  futures.reserve(select);
-  std::mutex replica_mutex;
-
-  for (std::size_t round = 1; round <= cfg_.rounds; ++round) {
-    // Step 1: select client set C_r.
-    selected.clear();
-    for (const auto i : rng.sample_without_replacement(populated.size(),
-                                                       select)) {
-      selected.push_back(populated[i]);
-    }
-    strategy_->begin_round(round, global);
-
-    // Step 2: parallel local training. Model replicas are leased from a
-    // free list: at most pool.size() tasks run concurrently, so the list
-    // never runs dry.
-    outcomes.clear();
-    outcomes.resize(selected.size());
-    {
-      free_replicas.clear();
-      for (auto& r : replicas) free_replicas.push_back(r.get());
-      futures.clear();
-      for (std::size_t s = 0; s < selected.size(); ++s) {
-        const std::size_t client = selected[s];
-        futures.push_back(pool.submit([&, s, client] {
-          nn::Model* replica = nullptr;
-          {
-            std::scoped_lock lock(replica_mutex);
-            FEDBIAD_CHECK(!free_replicas.empty(), "replica lease exhausted");
-            replica = free_replicas.back();
-            free_replicas.pop_back();
-          }
-          tensor::copy(global, replica->store().params());
-          ClientContext ctx{
-              .client_id = client,
-              .round = round,
-              .model = *replica,
-              .global_params = global,
-              .dataset = *train_data_,
-              .shard = partition_[client],
-              .settings = cfg_.train,
-              .rng = client_rng_base.split(0x1000 + client).split(round),
-          };
-          const auto start = Clock::now();
-          outcomes[s] = strategy_->run_client(ctx);
-          outcomes[s].train_seconds = seconds_since(start);
-          outcomes[s].client_id = client;
-          {
-            std::scoped_lock lock(replica_mutex);
-            free_replicas.push_back(replica);
-          }
-        }));
-      }
-      for (auto& f : futures) f.get();
-    }
-
-    // Step 4: aggregation.
-    const auto agg_start = Clock::now();
-    aggregate(global, outcomes, strategy_->aggregation_rule());
-    const double agg_seconds = seconds_since(agg_start);
-    strategy_->end_round(round, global_model->store().params(), global);
-    tensor::copy(global, global_model->store().params());
-
-    // Metrics.
-    RoundRecord rec;
-    rec.round = round;
-    rec.participants = selected.size();
-    double loss_acc = 0.0;
-    for (const ClientOutcome& o : outcomes) {
-      loss_acc += o.mean_loss;
-      rec.uplink_bytes_total += o.uplink_bytes;
-      rec.uplink_bytes_max = std::max(rec.uplink_bytes_max, o.uplink_bytes);
-      rec.lttr_seconds = std::max(rec.lttr_seconds, o.train_seconds);
-    }
-    rec.train_loss = loss_acc / static_cast<double>(outcomes.size());
-    rec.downlink_bytes = strategy_->downlink_bytes(n);
-    rec.upload_seconds = cfg_.link.upload_seconds(rec.uplink_bytes_max);
-    rec.download_seconds = cfg_.link.download_seconds(rec.downlink_bytes);
-    rec.aggregate_seconds = agg_seconds;
-
-    if (round % cfg_.eval_every == 0 || round == cfg_.rounds) {
-      nn::EvalResult eval;
-      data::for_each_batch(*test_data_, cfg_.eval_batch_size,
-                           [&](const data::Batch& batch) {
-                             eval.merge(global_model->eval_batch(
-                                 batch, cfg_.train.topk));
-                           });
-      rec.test_loss = eval.mean_loss();
-      rec.top1 = eval.top1_accuracy();
-      rec.topk = eval.topk_accuracy();
-    } else if (!result.rounds.empty()) {
-      // Carry forward the previous evaluation for un-evaluated rounds.
-      rec.test_loss = result.rounds.back().test_loss;
-      rec.top1 = result.rounds.back().top1;
-      rec.topk = result.rounds.back().topk;
-    }
-
-    if (cfg_.verbose) {
-      std::cerr << "[" << result.strategy << "] round " << round
-                << " train_loss=" << rec.train_loss
-                << " test_acc(top" << cfg_.train.topk << ")=" << rec.topk
-                << " upload=" << rec.uplink_bytes_total / selected.size()
-                << "B\n";
-    }
-    result.rounds.push_back(rec);
-  }
-
-  result.final_params = std::move(global);
+  // The synchronous round loop is the event-driven engine pinned to barrier
+  // aggregation over a homogeneous fleet: one code path for selection,
+  // training, aggregation, metrics, and traffic accounting.
+  AsyncSimulationConfig acfg;
+  acfg.base = cfg_;
+  acfg.mode = AggregationMode::kBarrier;
+  AsyncSimulation engine(std::move(acfg), factory_, train_data_, test_data_,
+                         partition_, strategy_);
+  SimulationResult result = engine.run();
+  result.engine = "sync";
   return result;
 }
 

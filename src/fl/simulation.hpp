@@ -1,9 +1,16 @@
-// The federated simulation engine (paper §IV-B, Algorithm 1 server side).
+// The synchronous federated simulation (paper §IV-B, Algorithm 1 server
+// side).
 //
 // Each round: select c = max(⌊κK⌋, 1) clients, train them in parallel on the
 // thread pool (one model replica per worker), aggregate their outcomes into
 // the global parameters, and evaluate the global model. Traffic and timing
 // are accounted through the LinkModel for the LTTR/TTA analyses.
+//
+// Since the event-driven engine landed, this class is a thin adapter over
+// fl::AsyncSimulation in barrier mode with a homogeneous fleet — the
+// trajectories are bit-identical (enforced by tests/test_async.cpp and the
+// golden traces). Use AsyncSimulation directly for heterogeneous clients or
+// staleness-aware aggregation.
 #pragma once
 
 #include <memory>

@@ -54,6 +54,13 @@ struct ClientContext {
   std::span<const std::size_t> shard;
   const TrainSettings& settings;
   tensor::Rng rng;  ///< stream unique to (client, round)
+  /// Global-model version the client's snapshot was taken from. The sync
+  /// engine always passes round - 1; under asynchronous aggregation the
+  /// server may have committed newer versions by the time this client's
+  /// update arrives (its staleness is the difference).
+  std::size_t model_version = 0;
+  /// Virtual-clock time the client was dispatched (0 in the sync engine).
+  double dispatch_clock = 0.0;
 };
 
 /// How the server combines client values (DESIGN.md §2 discusses the two).
@@ -103,6 +110,12 @@ class Strategy {
       std::size_t param_count) const {
     return static_cast<std::uint64_t>(param_count) * sizeof(float);
   }
+
+  /// Relative local-compute cost of one client step under this strategy,
+  /// used by the event-driven engine's virtual clock. Dropout/width
+  /// strategies train sub-models and override with < 1 (FedBIAD's clients
+  /// skip dropped rows entirely — the paper's LTTR advantage, Fig. 7).
+  [[nodiscard]] virtual double compute_cost_multiplier() const { return 1.0; }
 };
 
 using StrategyPtr = std::shared_ptr<Strategy>;

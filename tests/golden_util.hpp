@@ -1,0 +1,210 @@
+// Golden-trace IO for tests/test_golden.cpp: a minimal JSON writer/reader
+// for the fixed per-round trajectory schema checked in under tests/golden/.
+// Self-contained (no third-party JSON dependency); numbers are written with
+// %.17g so doubles round-trip exactly.
+#pragma once
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fl/metrics.hpp"
+
+namespace fedbiad::testing {
+
+struct GoldenRound {
+  std::size_t round = 0;
+  double train_loss = 0.0;
+  double test_loss = 0.0;
+  double top1 = 0.0;
+  double topk = 0.0;
+  std::uint64_t uplink_total = 0;
+  std::uint64_t uplink_max = 0;
+  std::uint64_t downlink = 0;
+  std::size_t participants = 0;
+};
+
+struct GoldenTrace {
+  std::string strategy;
+  std::string scenario;
+  std::vector<GoldenRound> rounds;
+};
+
+inline GoldenTrace to_trace(const fl::SimulationResult& result,
+                            const std::string& scenario) {
+  GoldenTrace trace;
+  trace.strategy = result.strategy;
+  trace.scenario = scenario;
+  for (const fl::RoundRecord& r : result.rounds) {
+    GoldenRound g;
+    g.round = r.round;
+    g.train_loss = r.train_loss;
+    g.test_loss = r.test_loss;
+    g.top1 = r.top1;
+    g.topk = r.topk;
+    g.uplink_total = r.uplink_bytes_total;
+    g.uplink_max = r.uplink_bytes_max;
+    g.downlink = r.downlink_bytes;
+    g.participants = r.participants;
+    trace.rounds.push_back(g);
+  }
+  return trace;
+}
+
+inline void write_golden(const std::string& path, const GoldenTrace& trace) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot write golden file: " + path);
+  auto num = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return std::string(buf);
+  };
+  os << "{\n";
+  os << "  \"schema\": 1,\n";
+  os << "  \"strategy\": \"" << trace.strategy << "\",\n";
+  os << "  \"scenario\": \"" << trace.scenario << "\",\n";
+  os << "  \"rounds\": [\n";
+  for (std::size_t i = 0; i < trace.rounds.size(); ++i) {
+    const GoldenRound& r = trace.rounds[i];
+    os << "    {\"round\": " << r.round
+       << ", \"train_loss\": " << num(r.train_loss)
+       << ", \"test_loss\": " << num(r.test_loss)
+       << ", \"top1\": " << num(r.top1) << ", \"topk\": " << num(r.topk)
+       << ", \"uplink_total\": " << r.uplink_total
+       << ", \"uplink_max\": " << r.uplink_max
+       << ", \"downlink\": " << r.downlink
+       << ", \"participants\": " << r.participants << "}"
+       << (i + 1 < trace.rounds.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+/// Tiny recursive-descent parser for the subset of JSON the golden files
+/// use (objects, arrays, strings, numbers). Throws on malformed input.
+class GoldenParser {
+ public:
+  explicit GoldenParser(std::string text) : text_(std::move(text)) {}
+
+  GoldenTrace parse() {
+    GoldenTrace trace;
+    expect('{');
+    bool first = true;
+    while (peek() != '}') {
+      if (!first) expect(',');
+      first = false;
+      const std::string key = parse_string();
+      expect(':');
+      if (key == "strategy") {
+        trace.strategy = parse_string();
+      } else if (key == "scenario") {
+        trace.scenario = parse_string();
+      } else if (key == "rounds") {
+        trace.rounds = parse_rounds();
+      } else {
+        skip_number();  // "schema" and any future scalar field
+      }
+    }
+    expect('}');
+    return trace;
+  }
+
+ private:
+  char peek() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) throw std::runtime_error("golden: truncated");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("golden: expected '") + c +
+                               "' at offset " + std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') out.push_back(text_[pos_++]);
+    expect('"');
+    return out;
+  }
+
+  double parse_number() {
+    peek();  // skip whitespace
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) throw std::runtime_error("golden: expected number");
+    pos_ += static_cast<std::size_t>(end - start);
+    return v;
+  }
+
+  void skip_number() { (void)parse_number(); }
+
+  std::vector<GoldenRound> parse_rounds() {
+    std::vector<GoldenRound> rounds;
+    expect('[');
+    while (peek() != ']') {
+      if (!rounds.empty()) expect(',');
+      GoldenRound r;
+      expect('{');
+      bool first = true;
+      while (peek() != '}') {
+        if (!first) expect(',');
+        first = false;
+        const std::string key = parse_string();
+        expect(':');
+        const double v = parse_number();
+        if (key == "round") {
+          r.round = static_cast<std::size_t>(v);
+        } else if (key == "train_loss") {
+          r.train_loss = v;
+        } else if (key == "test_loss") {
+          r.test_loss = v;
+        } else if (key == "top1") {
+          r.top1 = v;
+        } else if (key == "topk") {
+          r.topk = v;
+        } else if (key == "uplink_total") {
+          r.uplink_total = static_cast<std::uint64_t>(v);
+        } else if (key == "uplink_max") {
+          r.uplink_max = static_cast<std::uint64_t>(v);
+        } else if (key == "downlink") {
+          r.downlink = static_cast<std::uint64_t>(v);
+        } else if (key == "participants") {
+          r.participants = static_cast<std::size_t>(v);
+        } else {
+          throw std::runtime_error("golden: unknown round key " + key);
+        }
+      }
+      expect('}');
+      rounds.push_back(r);
+    }
+    expect(']');
+    return rounds;
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+inline GoldenTrace read_golden(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot read golden file: " + path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return GoldenParser(ss.str()).parse();
+}
+
+}  // namespace fedbiad::testing

@@ -118,6 +118,100 @@ TEST(Aggregate, RejectsEmptyAndMismatched) {
                fedbiad::CheckError);
 }
 
+// --- edge cases for the blocked streaming loop (PR 2's loop inversion) ---
+
+TEST(Aggregate, SingleClientParamsReplaceGlobal) {
+  for (const auto rule : {AggregationRule::kMaskedAverage,
+                          AggregationRule::kPerCoordinateNormalized}) {
+    std::vector<float> global{9.0F, 9.0F, 9.0F};
+    std::vector<ClientOutcome> outs;
+    outs.push_back(make_outcome({1.0F, 2.0F, 3.0F}, {1, 1, 1}, 5));
+    aggregate(global, outs, rule);
+    EXPECT_EQ(global, (std::vector<float>{1.0F, 2.0F, 3.0F}));
+  }
+}
+
+TEST(Aggregate, SingleClientUpdateAddsItsDelta) {
+  std::vector<float> global{1.0F, 1.0F};
+  std::vector<ClientOutcome> outs;
+  outs.push_back(make_outcome({0.5F, 0.0F}, {1, 0}, 3, true));
+  aggregate(global, outs, AggregationRule::kPerCoordinateNormalized);
+  EXPECT_FLOAT_EQ(global[0], 1.5F);
+  EXPECT_FLOAT_EQ(global[1], 1.0F);
+}
+
+TEST(Aggregate, RejectsZeroWeightClient) {
+  std::vector<float> global{0.0F};
+  std::vector<ClientOutcome> outs;
+  outs.push_back(make_outcome({1.0F}, {1}, 1));
+  outs.push_back(make_outcome({2.0F}, {1}, 0));  // |D_k| = 0
+  EXPECT_THROW(aggregate(global, outs, AggregationRule::kMaskedAverage),
+               fedbiad::CheckError);
+  EXPECT_THROW(
+      aggregate(global, outs, AggregationRule::kPerCoordinateNormalized),
+      fedbiad::CheckError);
+}
+
+TEST(Aggregate, RejectsRaggedParameterSizes) {
+  std::vector<float> global{0.0F, 0.0F};
+  // Client vector longer than the global.
+  std::vector<ClientOutcome> longer;
+  longer.push_back(make_outcome({1.0F, 2.0F, 3.0F}, {1, 1, 1}, 1));
+  EXPECT_THROW(aggregate(global, longer, AggregationRule::kMaskedAverage),
+               fedbiad::CheckError);
+  // Shorter than the global.
+  std::vector<ClientOutcome> shorter;
+  shorter.push_back(make_outcome({1.0F}, {1}, 1));
+  EXPECT_THROW(aggregate(global, shorter, AggregationRule::kMaskedAverage),
+               fedbiad::CheckError);
+  // values/present disagreeing with each other.
+  std::vector<ClientOutcome> mask_ragged;
+  mask_ragged.push_back(make_outcome({1.0F, 2.0F}, {1}, 1));
+  EXPECT_THROW(
+      aggregate(global, mask_ragged, AggregationRule::kPerCoordinateNormalized),
+      fedbiad::CheckError);
+  // One well-formed client must not mask a ragged co-participant.
+  std::vector<ClientOutcome> mixed;
+  mixed.push_back(make_outcome({1.0F, 2.0F}, {1, 1}, 1));
+  mixed.push_back(make_outcome({1.0F}, {1}, 1));
+  EXPECT_THROW(aggregate(global, mixed, AggregationRule::kMaskedAverage),
+               fedbiad::CheckError);
+}
+
+// n larger than the 4096-coordinate streaming block: results must agree
+// with a scalar per-coordinate reference across block boundaries.
+TEST(Aggregate, MatchesScalarReferenceAcrossBlockBoundaries) {
+  const std::size_t n = 3 * 4096 + 17;
+  std::vector<float> global(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    global[i] = static_cast<float>(i % 7) - 3.0F;
+  }
+  std::vector<float> reference = global;
+  std::vector<ClientOutcome> outs;
+  for (std::size_t k = 0; k < 3; ++k) {
+    std::vector<float> values(n);
+    std::vector<std::uint8_t> present(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      values[i] = static_cast<float>((i + k) % 5) * 0.25F;
+      present[i] = (i + k) % 3 != 0 ? 1 : 0;
+    }
+    outs.push_back(make_outcome(std::move(values), std::move(present), k + 1));
+  }
+  aggregate(global, outs, AggregationRule::kPerCoordinateNormalized);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    double weight = 0.0;
+    for (const ClientOutcome& o : outs) {
+      if (o.present[i] == 0) continue;
+      acc += static_cast<double>(o.samples) * o.values[i];
+      weight += static_cast<double>(o.samples);
+    }
+    const float expected =
+        weight > 0.0 ? static_cast<float>(acc / weight) : reference[i];
+    ASSERT_EQ(global[i], expected) << "coordinate " << i;
+  }
+}
+
 TEST(ClientStateStore, CreatesOncePerClient) {
   ClientStateStore<int> store;
   int created = 0;
