@@ -17,6 +17,8 @@
 #include "compress/quantize.hpp"
 #include "core/drop_pattern.hpp"
 #include "fl/aggregate.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/loss.hpp"
 #include "nn/lstm.hpp"
 #include "nn/mlp_model.hpp"
 #include "tensor/ops.hpp"
@@ -82,6 +84,79 @@ void BM_LstmBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_LstmBackward)->Arg(64);
 
+// The conv benches mirror the ConvModel scenario (MNIST-like single-channel
+// input) plus a multi-channel mid-network shape; arg = input channels,
+// filters = 8 × channels. Items = output elements per pass.
+void conv_shapes(std::size_t channels, std::size_t& filters,
+                 std::size_t& kernel, std::size_t& hw) {
+  filters = 8 * channels;
+  kernel = 5;
+  hw = 28;
+}
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const auto channels = static_cast<std::size_t>(state.range(0));
+  std::size_t filters = 0, kernel = 0, hw = 0;
+  conv_shapes(channels, filters, kernel, hw);
+  nn::ParameterStore store;
+  nn::Conv2D conv(store, "c", channels, filters, kernel, hw, hw);
+  store.finalize();
+  tensor::Rng rng(8);
+  conv.init(store, rng);
+  tensor::Matrix x(32, channels * hw * hw), out;
+  x.fill_uniform(rng, -1, 1);
+  for (auto _ : state) {
+    conv.forward(store, x, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32 *
+                          static_cast<std::int64_t>(conv.out_size()));
+}
+BENCHMARK(BM_Conv2dForward)->Arg(1)->Arg(4);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  const auto channels = static_cast<std::size_t>(state.range(0));
+  std::size_t filters = 0, kernel = 0, hw = 0;
+  conv_shapes(channels, filters, kernel, hw);
+  nn::ParameterStore store;
+  nn::Conv2D conv(store, "c", channels, filters, kernel, hw, hw);
+  store.finalize();
+  tensor::Rng rng(9);
+  conv.init(store, rng);
+  tensor::Matrix x(32, channels * hw * hw), g(32, conv.out_size()), g_in;
+  x.fill_uniform(rng, -1, 1);
+  g.fill_uniform(rng, -1, 1);
+  for (auto _ : state) {
+    store.zero_grads();
+    conv.backward(store, x, g, &g_in);
+    benchmark::DoNotOptimize(g_in.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32 *
+                          static_cast<std::int64_t>(conv.out_size()));
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(1)->Arg(4);
+
+void BM_SoftmaxXent(benchmark::State& state) {
+  const auto cols = static_cast<std::size_t>(state.range(0));
+  const std::size_t rows = 64;
+  tensor::Rng rng(10);
+  tensor::Matrix logits(rows, cols), g;
+  logits.fill_uniform(rng, -4, 4);
+  std::vector<std::int32_t> labels(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    labels[r] = static_cast<std::int32_t>(rng.uniform_index(cols));
+  }
+  for (auto _ : state) {
+    const float loss = nn::softmax_cross_entropy(logits, labels, g);
+    benchmark::DoNotOptimize(loss);
+    benchmark::DoNotOptimize(g.data());
+  }
+  // Items = logits processed per pass.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows * cols));
+}
+BENCHMARK(BM_SoftmaxXent)->Arg(10)->Arg(2048);
+
 void BM_MaskApply(benchmark::State& state) {
   nn::MlpModel model({.input = 784, .hidden = 256, .classes = 10});
   tensor::Rng rng(4);
@@ -92,6 +167,10 @@ void BM_MaskApply(benchmark::State& state) {
     pattern.apply_to_params(model.store());
     benchmark::DoNotOptimize(model.store().params().data());
   }
+  // Items = parameters masked per pass.
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(model.store().params().size()));
 }
 BENCHMARK(BM_MaskApply);
 
@@ -121,6 +200,9 @@ void BM_SignSgdCompress(benchmark::State& state) {
     auto sparse = sgn.compress(update, {}, st);
     benchmark::DoNotOptimize(sparse.values.data());
   }
+  // Items = update coordinates compressed per pass.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(update.size()));
 }
 BENCHMARK(BM_SignSgdCompress);
 

@@ -25,13 +25,20 @@ void WeightScoreVector::update(const DropPattern& held, bool loss_decreased,
 double WeightScoreVector::quantile(double p) const {
   FEDBIAD_CHECK(!scores_.empty(), "quantile of empty score vector");
   FEDBIAD_CHECK(p >= 0.0 && p <= 1.0, "quantile level must be in [0,1]");
-  std::vector<double> sorted = scores_;
-  std::sort(sorted.begin(), sorted.end());
-  const double pos = p * static_cast<double>(sorted.size() - 1);
+  // Only the order statistics at ⌊pos⌋ and ⌊pos⌋+1 matter, so one
+  // nth_element partition (O(n)) replaces the full sort (O(n log n)) this
+  // used to do per drop-pattern refresh; the upper neighbour is the
+  // minimum of the partition's right half.
+  std::vector<double> v = scores_;
+  const double pos = p * static_cast<double>(v.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  const auto nth = v.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(v.begin(), nth, v.end());
+  const double lo_val = *nth;
+  if (frac == 0.0 || lo + 1 >= v.size()) return lo_val;
+  const double hi_val = *std::min_element(nth + 1, v.end());
+  return lo_val * (1.0 - frac) + hi_val * frac;
 }
 
 DropPattern WeightScoreVector::make_pattern(const nn::ParameterStore& store,

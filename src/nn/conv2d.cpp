@@ -1,25 +1,117 @@
 #include "nn/conv2d.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/check.hpp"
 #include "parallel/thread_pool.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/vmath.hpp"
+#include "tensor/workspace.hpp"
 
 namespace fedbiad::nn {
+
+namespace {
+
+// The patch matrix is stored TRANSPOSED: PT (fan_in_pad × OH·OW), row
+// kk = (c, ky, kx) holding that filter tap's input value for every output
+// position. For stride 1 this makes each (kk, oy) segment a contiguous
+// OW-float copy of an input row (and col2im a contiguous vector add), and
+// it puts the long spatial axis on the GEMM n dimension, where the
+// register tiles are full. fan_in is padded up to a full register panel
+// (kPatchRowPad) with zero rows so the weight-gradient GEMM never runs a
+// scalar edge tile; consumers ignore the padded tail.
+constexpr std::size_t kPatchRowPad = 16;
+
+inline std::size_t pad_fan_in(std::size_t fan_in) {
+  return (fan_in + kPatchRowPad - 1) / kPatchRowPad * kPatchRowPad;
+}
+
+void im2row_sample(std::size_t in_c, std::size_t kernel, std::size_t h,
+                   std::size_t w, std::size_t stride, std::size_t pad,
+                   std::size_t oh, std::size_t ow, const float* xb,
+                   float* pt) {
+  const std::size_t ohw = oh * ow;
+  float* prow = pt;
+  for (std::size_t c = 0; c < in_c; ++c) {
+    const float* plane = xb + c * h * w;
+    for (std::size_t ky = 0; ky < kernel; ++ky) {
+      for (std::size_t kx = 0; kx < kernel; ++kx, prow += ohw) {
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const std::size_t iy = oy * stride + ky;  // padded coordinate
+          float* dst = prow + oy * ow;
+          if (iy < pad || iy >= h + pad) {
+            std::memset(dst, 0, ow * sizeof(float));
+            continue;
+          }
+          const float* src = plane + (iy - pad) * w;
+          if (stride == 1 && pad == 0) {
+            std::memcpy(dst, src + kx, ow * sizeof(float));
+            continue;
+          }
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const std::size_t ix = ox * stride + kx;
+            dst[ox] = (ix < pad || ix >= w + pad) ? 0.0F : src[ix - pad];
+          }
+        }
+      }
+    }
+  }
+}
+
+// Adjoint of im2row_sample: scatter-adds the patch-gradient rows back onto
+// the (C × H × W) input planes. The stride-1 fast path is a contiguous
+// vector add per (kk, oy) row.
+void col2im_sample(std::size_t in_c, std::size_t kernel, std::size_t h,
+                   std::size_t w, std::size_t stride, std::size_t pad,
+                   std::size_t oh, std::size_t ow, const float* dpt,
+                   float* dxb) {
+  const std::size_t ohw = oh * ow;
+  const float* prow = dpt;
+  for (std::size_t c = 0; c < in_c; ++c) {
+    float* plane = dxb + c * h * w;
+    for (std::size_t ky = 0; ky < kernel; ++ky) {
+      for (std::size_t kx = 0; kx < kernel; ++kx, prow += ohw) {
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const std::size_t iy = oy * stride + ky;
+          if (iy < pad || iy >= h + pad) continue;
+          float* dst = plane + (iy - pad) * w;
+          const float* src = prow + oy * ow;
+          if (stride == 1 && pad == 0) {
+            tensor::vmath::axpy(ow, 1.0F, src, dst + kx);
+            continue;
+          }
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const std::size_t ix = ox * stride + kx;
+            if (ix >= pad && ix < w + pad) dst[ix - pad] += src[ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
 
 Conv2D::Conv2D(ParameterStore& store, std::string name,
                std::size_t in_channels, std::size_t out_channels,
                std::size_t kernel, std::size_t height, std::size_t width,
-               bool droppable)
+               std::size_t stride, std::size_t padding, bool droppable)
     : in_channels_(in_channels),
       out_channels_(out_channels),
       kernel_(kernel),
       h_(height),
       w_(width),
-      oh_(height - kernel + 1),
-      ow_(width - kernel + 1) {
-  FEDBIAD_CHECK(kernel <= height && kernel <= width,
-                "conv kernel larger than input");
+      stride_(stride),
+      pad_(padding),
+      oh_((height + 2 * padding - kernel) / stride + 1),
+      ow_((width + 2 * padding - kernel) / stride + 1) {
+  FEDBIAD_CHECK(stride >= 1, "conv stride must be >= 1");
+  FEDBIAD_CHECK(padding < kernel, "conv padding must be < kernel");
+  FEDBIAD_CHECK(kernel <= height + 2 * padding &&
+                    kernel <= width + 2 * padding,
+                "conv kernel larger than padded input");
   group_ = store.add_group(std::move(name), GroupKind::kConvFilter,
                            out_channels, in_channels * kernel * kernel + 1,
                            droppable);
@@ -39,6 +131,17 @@ void Conv2D::init(ParameterStore& store, tensor::Rng& rng) const {
   }
 }
 
+// Forward = per-sample im2row + one GEMM that lands directly in the
+// layer's channel-major output layout (no transposes anywhere):
+//   PT_b (fan_in_pad × OH·OW)           — this sample's patch rows
+//   out_b (F × OH·OW) = W · PT_b + b    — gemm_ab with the strided filter
+//                                         rows as A; m = F, n = OH·OW keeps
+//                                         every register tile full even for
+//                                         small filter counts
+// The per-filter bias is pre-filled into out_b and the GEMM accumulates on
+// top. Samples are independent under the outer parallel_for; each worker's
+// patch panel lives in its own Workspace arena — steady state allocates
+// nothing.
 void Conv2D::forward(const ParameterStore& store, const tensor::Matrix& x,
                      tensor::Matrix& out) const {
   FEDBIAD_CHECK(x.cols() == in_channels_ * h_ * w_,
@@ -47,101 +150,208 @@ void Conv2D::forward(const ParameterStore& store, const tensor::Matrix& x,
   const float* w = store.group_params(group_).data();
   const std::size_t fan_in = in_channels_ * kernel_ * kernel_;
   const std::size_t row_len = fan_in + 1;
+  const std::size_t batch = x.rows();
+  const std::size_t ohw = oh_ * ow_;
+  if (batch * ohw == 0) return;
+
   parallel::parallel_for(
-      x.rows(),
-      [&, w](std::size_t b) {
-        const float* xb = x.data() + b * x.cols();
-        float* ob = out.data() + b * out_size();
-        for (std::size_t f = 0; f < out_channels_; ++f) {
-          const float* filt = w + f * row_len;
-          for (std::size_t oy = 0; oy < oh_; ++oy) {
-            for (std::size_t ox = 0; ox < ow_; ++ox) {
-              float acc = filt[fan_in];
-              std::size_t widx = 0;
-              for (std::size_t c = 0; c < in_channels_; ++c) {
-                const float* plane = xb + c * h_ * w_;
-                for (std::size_t ky = 0; ky < kernel_; ++ky) {
-                  const float* row = plane + (oy + ky) * w_ + ox;
-                  for (std::size_t kx = 0; kx < kernel_; ++kx) {
-                    acc += filt[widx++] * row[kx];
-                  }
-                }
-              }
-              ob[f * oh_ * ow_ + oy * ow_ + ox] = acc;
-            }
+      batch,
+      [&, w](std::size_t b0, std::size_t b1) {
+        tensor::Workspace::Scope scope;
+        // Forward multiplies over k = fan_in only, so no padding rows.
+        float* pt =
+            tensor::Workspace::local().alloc<float>(fan_in * ohw).data();
+        for (std::size_t b = b0; b < b1; ++b) {
+          im2row_sample(in_channels_, kernel_, h_, w_, stride_, pad_, oh_,
+                        ow_, x.data() + b * x.cols(), pt);
+          float* ob = out.data() + b * out_size();
+          for (std::size_t f = 0; f < out_channels_; ++f) {
+            std::fill(ob + f * ohw, ob + (f + 1) * ohw,
+                      w[f * row_len + fan_in]);
           }
+          tensor::gemm_ab(out_channels_, ohw, fan_in, w, row_len, pt, ohw,
+                          ob, ohw, /*accumulate=*/true);
         }
       },
-      out_size() * fan_in);
+      2 * ohw * fan_in);
 }
 
+// Backward re-packs each sample's patches into its worker's arena and
+// turns every gradient into GEMMs over them:
+//   phase A, parallel over samples:
+//     PT_b = im2row(x_b)
+//     dPT_b (fan_in × OH·OW) = Wᵀ · g_b   — gemm_atb reads the filter rows
+//                                           transposed in place
+//     g_in_b = col2im(dPT_b)
+//     dWs_b = g_b · PT_bᵀ                 — gemm_abt into this sample's
+//                                           zero-padded (F × fan_in_pad)
+//                                           partial tile, so every register
+//                                           tile is full width and samples
+//                                           stay independent
+//     dbias_b[f] = Σ g_b[f, :]
+//   phase B, serial (dw is a shared sink): the per-sample partial tiles
+//     and bias sums fold into the strided grad rows in batch order.
 void Conv2D::backward(ParameterStore& store, const tensor::Matrix& x,
                       const tensor::Matrix& g_out,
                       tensor::Matrix* g_in) const {
   FEDBIAD_CHECK(g_out.rows() == x.rows() && g_out.cols() == out_size(),
                 "conv backward: gradient shape mismatch");
   const std::size_t fan_in = in_channels_ * kernel_ * kernel_;
+  const std::size_t fan_pad = pad_fan_in(fan_in);
   const std::size_t row_len = fan_in + 1;
   float* dw = store.group_grads(group_).data();
-  const std::size_t batch = x.rows();
-  // Filter rows are disjoint across tasks.
-  parallel::parallel_for(
-      out_channels_,
-      [&, dw](std::size_t f) {
-        float* dfilt = dw + f * row_len;
-        for (std::size_t b = 0; b < batch; ++b) {
-          const float* xb = x.data() + b * x.cols();
-          const float* gb = g_out.data() + b * out_size() + f * oh_ * ow_;
-          for (std::size_t oy = 0; oy < oh_; ++oy) {
-            for (std::size_t ox = 0; ox < ow_; ++ox) {
-              const float g = gb[oy * ow_ + ox];
-              if (g == 0.0F) continue;
-              dfilt[fan_in] += g;
-              std::size_t widx = 0;
-              for (std::size_t c = 0; c < in_channels_; ++c) {
-                const float* plane = xb + c * h_ * w_;
-                for (std::size_t ky = 0; ky < kernel_; ++ky) {
-                  const float* row = plane + (oy + ky) * w_ + ox;
-                  for (std::size_t kx = 0; kx < kernel_; ++kx) {
-                    dfilt[widx++] += g * row[kx];
-                  }
-                }
-              }
-            }
-          }
-        }
-      },
-      batch * oh_ * ow_ * fan_in);
-  if (g_in == nullptr) return;
   const float* w = store.group_params(group_).data();
-  g_in->resize(batch, x.cols());
+  const std::size_t batch = x.rows();
+  const std::size_t ohw = oh_ * ow_;
+  if (g_in != nullptr) g_in->resize(batch, x.cols());
+  if (batch * ohw == 0) return;
+
+  tensor::Workspace::Scope scope;
+  auto& ws = tensor::Workspace::local();
+  const std::size_t tile = out_channels_ * fan_pad;
+  float* dws = ws.alloc<float>(batch * tile).data();
+  float* dbias = ws.alloc<float>(batch * out_channels_).data();
   parallel::parallel_for(
       batch,
-      [&, w](std::size_t b) {
-        float* ib = g_in->data() + b * x.cols();
-        std::fill(ib, ib + x.cols(), 0.0F);
-        const float* gb = g_out.data() + b * out_size();
-        for (std::size_t f = 0; f < out_channels_; ++f) {
-          const float* filt = w + f * row_len;
-          for (std::size_t oy = 0; oy < oh_; ++oy) {
-            for (std::size_t ox = 0; ox < ow_; ++ox) {
-              const float g = gb[f * oh_ * ow_ + oy * ow_ + ox];
-              if (g == 0.0F) continue;
-              std::size_t widx = 0;
-              for (std::size_t c = 0; c < in_channels_; ++c) {
-                float* plane = ib + c * h_ * w_;
-                for (std::size_t ky = 0; ky < kernel_; ++ky) {
-                  float* row = plane + (oy + ky) * w_ + ox;
-                  for (std::size_t kx = 0; kx < kernel_; ++kx) {
-                    row[kx] += g * filt[widx++];
-                  }
+      [&, dws, dbias, w](std::size_t b0, std::size_t b1) {
+        tensor::Workspace::Scope worker_scope;
+        auto& wws = tensor::Workspace::local();
+        // im2row writes only the fan_in live rows; the padding tail the
+        // dW GEMM reads is zeroed once here and never dirtied.
+        float* pt = wws.alloc<float>(fan_pad * ohw).data();
+        std::memset(pt + fan_in * ohw, 0,
+                    (fan_pad - fan_in) * ohw * sizeof(float));
+        float* dpt =
+            g_in == nullptr ? nullptr : wws.alloc<float>(fan_in * ohw).data();
+        for (std::size_t b = b0; b < b1; ++b) {
+          im2row_sample(in_channels_, kernel_, h_, w_, stride_, pad_, oh_,
+                        ow_, x.data() + b * x.cols(), pt);
+          const float* gb = g_out.data() + b * out_size();
+          tensor::gemm_abt(out_channels_, fan_pad, ohw, gb, ohw, pt, ohw,
+                           dws + b * tile, fan_pad);
+          for (std::size_t f = 0; f < out_channels_; ++f) {
+            // Four independent chains keep the bias reduction off the
+            // serial float-add latency path.
+            const float* gr = gb + f * ohw;
+            float s0 = 0.0F, s1 = 0.0F, s2 = 0.0F, s3 = 0.0F;
+            std::size_t i = 0;
+            for (; i + 4 <= ohw; i += 4) {
+              s0 += gr[i];
+              s1 += gr[i + 1];
+              s2 += gr[i + 2];
+              s3 += gr[i + 3];
+            }
+            float s = (s0 + s1) + (s2 + s3);
+            for (; i < ohw; ++i) s += gr[i];
+            dbias[b * out_channels_ + f] = s;
+          }
+          if (g_in == nullptr) continue;
+          std::memset(dpt, 0, fan_in * ohw * sizeof(float));
+          tensor::gemm_atb(fan_in, ohw, out_channels_, w, row_len, gb, ohw,
+                           dpt, ohw);
+          float* dxb = g_in->data() + b * x.cols();
+          std::fill(dxb, dxb + x.cols(), 0.0F);
+          col2im_sample(in_channels_, kernel_, h_, w_, stride_, pad_, oh_,
+                        ow_, dpt, dxb);
+        }
+      },
+      2 * ohw * fan_in * (g_in == nullptr ? 1 : 1 + out_channels_));
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t f = 0; f < out_channels_; ++f) {
+      tensor::vmath::axpy(fan_in, 1.0F, dws + b * tile + f * fan_pad,
+                          dw + f * row_len);
+      dw[f * row_len + fan_in] += dbias[b * out_channels_ + f];
+    }
+  }
+}
+
+namespace ref {
+
+void conv2d_forward(std::size_t in_c, std::size_t out_c, std::size_t kernel,
+                    std::size_t h, std::size_t w, std::size_t stride,
+                    std::size_t pad, const float* weights,
+                    const tensor::Matrix& x, tensor::Matrix& out) {
+  const std::size_t oh = (h + 2 * pad - kernel) / stride + 1;
+  const std::size_t ow = (w + 2 * pad - kernel) / stride + 1;
+  const std::size_t fan_in = in_c * kernel * kernel;
+  const std::size_t row_len = fan_in + 1;
+  out.resize(x.rows(), out_c * oh * ow);
+  for (std::size_t b = 0; b < x.rows(); ++b) {
+    const float* xb = x.data() + b * x.cols();
+    float* ob = out.data() + b * out.cols();
+    for (std::size_t f = 0; f < out_c; ++f) {
+      const float* filt = weights + f * row_len;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          float acc = filt[fan_in];
+          std::size_t widx = 0;
+          for (std::size_t c = 0; c < in_c; ++c) {
+            const float* plane = xb + c * h * w;
+            for (std::size_t ky = 0; ky < kernel; ++ky) {
+              const std::size_t iy = oy * stride + ky;
+              for (std::size_t kx = 0; kx < kernel; ++kx, ++widx) {
+                const std::size_t ix = ox * stride + kx;
+                if (iy < pad || iy >= h + pad || ix < pad || ix >= w + pad) {
+                  continue;
                 }
+                acc += filt[widx] * plane[(iy - pad) * w + (ix - pad)];
+              }
+            }
+          }
+          ob[f * oh * ow + oy * ow + ox] = acc;
+        }
+      }
+    }
+  }
+}
+
+void conv2d_backward(std::size_t in_c, std::size_t out_c, std::size_t kernel,
+                     std::size_t h, std::size_t w, std::size_t stride,
+                     std::size_t pad, const float* weights, float* dw,
+                     const tensor::Matrix& x, const tensor::Matrix& g_out,
+                     tensor::Matrix* g_in) {
+  const std::size_t oh = (h + 2 * pad - kernel) / stride + 1;
+  const std::size_t ow = (w + 2 * pad - kernel) / stride + 1;
+  const std::size_t fan_in = in_c * kernel * kernel;
+  const std::size_t row_len = fan_in + 1;
+  if (g_in != nullptr) {
+    g_in->resize(x.rows(), x.cols());
+    g_in->fill(0.0F);
+  }
+  for (std::size_t b = 0; b < x.rows(); ++b) {
+    const float* xb = x.data() + b * x.cols();
+    float* ib = g_in == nullptr ? nullptr : g_in->data() + b * x.cols();
+    const float* gb = g_out.data() + b * g_out.cols();
+    for (std::size_t f = 0; f < out_c; ++f) {
+      const float* filt = weights + f * row_len;
+      float* dfilt = dw + f * row_len;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          const float g = gb[f * oh * ow + oy * ow + ox];
+          dfilt[fan_in] += g;
+          std::size_t widx = 0;
+          for (std::size_t c = 0; c < in_c; ++c) {
+            const std::size_t plane = c * h * w;
+            for (std::size_t ky = 0; ky < kernel; ++ky) {
+              const std::size_t iy = oy * stride + ky;
+              for (std::size_t kx = 0; kx < kernel; ++kx, ++widx) {
+                const std::size_t ix = ox * stride + kx;
+                if (iy < pad || iy >= h + pad || ix < pad || ix >= w + pad) {
+                  continue;
+                }
+                const std::size_t at = plane + (iy - pad) * w + (ix - pad);
+                dfilt[widx] += g * xb[at];
+                if (ib != nullptr) ib[at] += g * filt[widx];
               }
             }
           }
         }
-      },
-      out_size() * fan_in);
+      }
+    }
+  }
 }
+
+}  // namespace ref
 
 }  // namespace fedbiad::nn

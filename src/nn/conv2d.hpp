@@ -1,8 +1,20 @@
-// 2-D convolution with filter-wise weight rows.
+// 2-D convolution with filter-wise weight rows, computed as im2col → GEMM.
 //
 // The paper (§IV-C) extends row-wise dropout to CNNs by viewing weights per
 // filter: one row group row = one filter's C×kh×kw weights plus its bias, so
-// a dropped row drops the whole filter. Stride 1, no padding.
+// a dropped row drops the whole filter. Supports stride and zero-padding
+// (defaults reproduce the original stride-1 "valid" convolution).
+//
+// Compute path (conv2d.cpp): each sample's input patches are packed into a
+// transposed patch matrix PT (C·K·K, zero-padded to a full register panel,
+// × OH·OW) in the per-thread Workspace arena — row-major with the long
+// spatial axis innermost, so im2col/col2im are contiguous row copies/adds
+// for stride 1 and every GEMM keeps full-width register tiles. Forward is
+// one GEMM per sample against the filter rows; backward is one GEMM per
+// sample for the weight gradients over the retained patch rows plus one
+// GEMM + col2im scatter for the input gradients. The pre-GEMM 7-loop
+// implementation is retained in nn::ref as the golden model for
+// tests/test_gemm.cpp.
 #pragma once
 
 #include <cstddef>
@@ -18,7 +30,8 @@ class Conv2D {
  public:
   Conv2D(ParameterStore& store, std::string name, std::size_t in_channels,
          std::size_t out_channels, std::size_t kernel, std::size_t height,
-         std::size_t width, bool droppable = true);
+         std::size_t width, std::size_t stride = 1, std::size_t padding = 0,
+         bool droppable = true);
 
   void init(ParameterStore& store, tensor::Rng& rng) const;
 
@@ -39,7 +52,28 @@ class Conv2D {
 
  private:
   std::size_t group_ = 0;
-  std::size_t in_channels_, out_channels_, kernel_, h_, w_, oh_, ow_;
+  std::size_t in_channels_, out_channels_, kernel_, h_, w_, stride_, pad_,
+      oh_, ow_;
 };
+
+namespace ref {
+
+// Scalar 7-loop reference convolution (the pre-im2col implementation,
+// extended with stride/padding): golden model for the GEMM path. Weights
+// are filter-major rows of length C·K·K + 1 with the bias last, exactly
+// the ParameterStore layout Conv2D uses.
+void conv2d_forward(std::size_t in_c, std::size_t out_c, std::size_t kernel,
+                    std::size_t h, std::size_t w, std::size_t stride,
+                    std::size_t pad, const float* weights,
+                    const tensor::Matrix& x, tensor::Matrix& out);
+
+/// Accumulates into dw (same layout as the weights); fills g_in if non-null.
+void conv2d_backward(std::size_t in_c, std::size_t out_c, std::size_t kernel,
+                     std::size_t h, std::size_t w, std::size_t stride,
+                     std::size_t pad, const float* weights, float* dw,
+                     const tensor::Matrix& x, const tensor::Matrix& g_out,
+                     tensor::Matrix* g_in);
+
+}  // namespace ref
 
 }  // namespace fedbiad::nn

@@ -1,20 +1,15 @@
 #include "nn/conv_model.hpp"
 
 #include "common/check.hpp"
+#include "tensor/vmath.hpp"
 
 namespace fedbiad::nn {
-
-namespace {
-std::size_t conv_out_size(const ConvConfig& c) {
-  return c.filters * (c.height - c.kernel + 1) * (c.width - c.kernel + 1);
-}
-}  // namespace
 
 ConvModel::ConvModel(const ConvConfig& cfg)
     : cfg_(cfg),
       conv_(store_, "conv1", cfg.channels, cfg.filters, cfg.kernel, cfg.height,
-            cfg.width),
-      head_(store_, "head", conv_out_size(cfg), cfg.classes) {
+            cfg.width, cfg.stride, cfg.padding),
+      head_(store_, "head", conv_.out_size(), cfg.classes) {
   store_.finalize();
 }
 
@@ -26,8 +21,8 @@ void ConvModel::init_params(tensor::Rng& rng) {
 void ConvModel::forward(const data::Batch& batch) {
   FEDBIAD_CHECK(!batch.is_text(), "ConvModel expects image batches");
   conv_.forward(store_, batch.x, pre_);
-  act_ = pre_;
-  for (auto& v : act_.flat()) v = v > 0.0F ? v : 0.0F;
+  act_.resize(pre_.rows(), pre_.cols());
+  tensor::vmath::relu(pre_.size(), pre_.data(), act_.data());
   head_.forward(store_, act_, logits_);
 }
 
@@ -36,9 +31,7 @@ float ConvModel::train_step(const data::Batch& batch) {
   forward(batch);
   const float loss = softmax_cross_entropy(logits_, batch.targets, g_logits_);
   head_.backward(store_, act_, g_logits_, &g_act_);
-  for (std::size_t i = 0; i < g_act_.size(); ++i) {
-    if (pre_.flat()[i] <= 0.0F) g_act_.flat()[i] = 0.0F;
-  }
+  tensor::vmath::relu_backward(g_act_.size(), pre_.data(), g_act_.data());
   conv_.backward(store_, batch.x, g_act_, nullptr);
   return loss;
 }

@@ -16,6 +16,8 @@ struct ConvConfig {
   std::size_t channels = 1;
   std::size_t filters = 8;
   std::size_t kernel = 5;
+  std::size_t stride = 1;
+  std::size_t padding = 0;
   std::size_t classes = 10;
 };
 

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/vmath.hpp"
 
 namespace fedbiad::nn {
 
@@ -32,16 +33,13 @@ float softmax_cross_entropy(const tensor::Matrix& logits,
       std::fill(g, g + cols, 0.0F);
       continue;
     }
+    // Fused row kernel: one max/exp/normalize sweep writes the (already
+    // inv_active-scaled) softmax into g and returns logsumexp; the loss is
+    // logsumexp - z[label] and the label column completes the gradient.
     const float* z = logits.data() + r * cols;
-    const float mx = *std::max_element(z, z + cols);
-    double denom = 0.0;
-    for (std::size_t c = 0; c < cols; ++c) denom += std::exp(z[c] - mx);
-    const float log_denom = static_cast<float>(std::log(denom));
-    loss += log_denom - (z[static_cast<std::size_t>(label)] - mx);
-    const float inv_denom = static_cast<float>(1.0 / denom);
-    for (std::size_t c = 0; c < cols; ++c) {
-      g[c] = std::exp(z[c] - mx) * inv_denom * inv_active;
-    }
+    const float lse = tensor::vmath::softmax_xent_row(cols, z, g, inv_active);
+    loss += static_cast<double>(lse) -
+            static_cast<double>(z[static_cast<std::size_t>(label)]);
     g[static_cast<std::size_t>(label)] -= inv_active;
   }
   return static_cast<float>(loss / static_cast<double>(active));
@@ -59,10 +57,8 @@ EvalResult evaluate_logits(const tensor::Matrix& logits,
     if (label < 0) continue;
     const auto lab = static_cast<std::size_t>(label);
     const float* z = logits.data() + r * cols;
-    const float mx = *std::max_element(z, z + cols);
-    double denom = 0.0;
-    for (std::size_t c = 0; c < cols; ++c) denom += std::exp(z[c] - mx);
-    out.loss_sum += std::log(denom) - (z[lab] - mx);
+    out.loss_sum += static_cast<double>(tensor::vmath::logsumexp(cols, z)) -
+                    static_cast<double>(z[lab]);
     ++out.count;
     const std::span<const float> row{z, cols};
     if (tensor::argmax(row) == lab) ++out.top1;

@@ -7,15 +7,10 @@
 #include "parallel/thread_pool.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/vmath.hpp"
 #include "tensor/workspace.hpp"
 
 namespace fedbiad::nn {
-
-namespace {
-
-float sigmoid(float x) { return 1.0F / (1.0F + std::exp(-x)); }
-
-}  // namespace
 
 LstmLayer::LstmLayer(ParameterStore& store, const std::string& name_prefix,
                      std::size_t in, std::size_t hidden, bool droppable)
@@ -98,6 +93,8 @@ void LstmLayer::forward(const ParameterStore& store,
     }
     const float* c_prev =
         t == 0 ? nullptr : cache.c.data() + (t - 1) * batch * H;
+    // Fused gate activation: one vmath::lstm_cell pass per sample replaces
+    // the five scalar libm calls per hidden unit.
     parallel::parallel_for(
         batch,
         [&, gates_t, c_prev, t](std::size_t b0, std::size_t b1) {
@@ -107,22 +104,7 @@ void LstmLayer::forward(const ParameterStore& store,
             float* tcb = cache.tanh_c.data() + (t * batch + b) * H;
             float* hb = cache.h.data() + (t * batch + b) * H;
             const float* cpb = c_prev == nullptr ? nullptr : c_prev + b * H;
-            for (std::size_t j = 0; j < H; ++j) {
-              const float gi = sigmoid(g4[j]);
-              const float gf = sigmoid(g4[H + j]);
-              const float gg = std::tanh(g4[2 * H + j]);
-              const float go = sigmoid(g4[3 * H + j]);
-              g4[j] = gi;
-              g4[H + j] = gf;
-              g4[2 * H + j] = gg;
-              g4[3 * H + j] = go;
-              const float c_in = cpb == nullptr ? 0.0F : cpb[j];
-              const float c_new = gf * c_in + gi * gg;
-              cb[j] = c_new;
-              const float tc = std::tanh(c_new);
-              tcb[j] = tc;
-              hb[j] = go * tc;
-            }
+            tensor::vmath::lstm_cell(H, g4, cpb, cb, tcb, hb);
           }
         },
         16 * H);

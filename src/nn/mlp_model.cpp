@@ -1,6 +1,7 @@
 #include "nn/mlp_model.hpp"
 
 #include "common/check.hpp"
+#include "tensor/vmath.hpp"
 
 namespace fedbiad::nn {
 
@@ -19,8 +20,8 @@ void MlpModel::init_params(tensor::Rng& rng) {
 void MlpModel::forward(const data::Batch& batch) {
   FEDBIAD_CHECK(!batch.is_text(), "MlpModel expects image batches");
   fc1_.forward(store_, batch.x, pre1_);
-  act1_ = pre1_;
-  for (auto& v : act1_.flat()) v = v > 0.0F ? v : 0.0F;  // ReLU
+  act1_.resize(pre1_.rows(), pre1_.cols());
+  tensor::vmath::relu(pre1_.size(), pre1_.data(), act1_.data());
   fc2_.forward(store_, act1_, logits_);
 }
 
@@ -29,9 +30,8 @@ float MlpModel::train_step(const data::Batch& batch) {
   forward(batch);
   const float loss = softmax_cross_entropy(logits_, batch.targets, g_logits_);
   fc2_.backward(store_, act1_, g_logits_, &g_act1_);
-  for (std::size_t i = 0; i < g_act1_.size(); ++i) {
-    if (pre1_.flat()[i] <= 0.0F) g_act1_.flat()[i] = 0.0F;  // ReLU'
-  }
+  tensor::vmath::relu_backward(g_act1_.size(), pre1_.data(),
+                               g_act1_.data());  // ReLU'
   fc1_.backward(store_, batch.x, g_act1_, nullptr);
   return loss;
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "tensor/ops.hpp"
+#include "tensor/vmath.hpp"
 
 namespace fedbiad::nn {
 
@@ -14,11 +15,9 @@ double sgd_step(ParameterStore& store, const SgdConfig& cfg) {
   if (cfg.clip_norm > 0.0F && norm > cfg.clip_norm) {
     scale = static_cast<float>(cfg.clip_norm / norm);
   }
-  const float lr = cfg.lr;
-  const float wd = cfg.weight_decay;
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    params[i] -= lr * (scale * grads[i] + wd * params[i]);
-  }
+  // Fused clip + weight-decay + step over the flat parameter vector.
+  tensor::vmath::sgd_axpy(params.size(), params.data(), grads.data(), cfg.lr,
+                          scale, cfg.weight_decay);
   return norm;
 }
 

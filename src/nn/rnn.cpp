@@ -7,6 +7,7 @@
 #include "parallel/thread_pool.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/vmath.hpp"
 #include "tensor/workspace.hpp"
 
 namespace fedbiad::nn {
@@ -68,9 +69,7 @@ void RnnLayer::forward(const ParameterStore& store,
     parallel::parallel_for(
         batch,
         [&, h_t](std::size_t b0, std::size_t b1) {
-          for (std::size_t i = b0 * H; i < b1 * H; ++i) {
-            h_t[i] = std::tanh(h_t[i]);
-          }
+          tensor::vmath::vtanh((b1 - b0) * H, h_t + b0 * H, h_t + b0 * H);
         },
         4 * H);
   }

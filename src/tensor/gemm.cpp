@@ -69,12 +69,43 @@ void pack_b(const float* b, std::size_t ldb, std::size_t jc, std::size_t kc,
 }
 
 /// Edge-tile micro-kernel: C[i0..i0+mr) × [0..nr) += A-block · B-panel for
-/// partial tiles at the matrix borders. Scalar; borders are O(perimeter).
+/// partial tiles at the matrix borders. Vectorized at full NR width through
+/// a zero-padded local tile: the B panel's padding lanes are zero, so lanes
+/// past nr just accumulate zeros and only the live columns are copied back.
+/// Narrow operands (Dense heads with a handful of classes, small filter
+/// counts) therefore run the same FMA tile as the interior instead of
+/// degenerating to scalar code.
 template <bool ATrans>
 void micro_kernel_edge(std::size_t mr, std::size_t nr, std::size_t kcn,
                        const float* a, std::size_t lda, std::size_t i0,
                        std::size_t kc, const float* panel, float* c,
                        std::size_t ldc) {
+#if defined(FEDBIAD_GEMM_VECTOR)
+  float buf[MR][NR] = {};
+  for (std::size_t ii = 0; ii < mr; ++ii) {
+    for (std::size_t jj = 0; jj < nr; ++jj) buf[ii][jj] = c[ii * ldc + jj];
+  }
+  vf acc[MR][2];
+  for (std::size_t ii = 0; ii < mr; ++ii) {
+    acc[ii][0] = *reinterpret_cast<const vf*>(buf[ii]);
+    acc[ii][1] = *reinterpret_cast<const vf*>(buf[ii] + VL);
+  }
+  for (std::size_t kk = 0; kk < kcn; ++kk) {
+    const float* brow = panel + kk * NR;
+    const vf b0 = *reinterpret_cast<const vf*>(brow);
+    const vf b1 = *reinterpret_cast<const vf*>(brow + VL);
+    for (std::size_t ii = 0; ii < mr; ++ii) {
+      const float av = a_elem<ATrans>(a, lda, i0 + ii, kc + kk);
+      acc[ii][0] += b0 * av;
+      acc[ii][1] += b1 * av;
+    }
+  }
+  for (std::size_t ii = 0; ii < mr; ++ii) {
+    *reinterpret_cast<vf*>(buf[ii]) = acc[ii][0];
+    *reinterpret_cast<vf*>(buf[ii] + VL) = acc[ii][1];
+    for (std::size_t jj = 0; jj < nr; ++jj) c[ii * ldc + jj] = buf[ii][jj];
+  }
+#else
   float acc[MR][NR];
   for (std::size_t ii = 0; ii < mr; ++ii) {
     for (std::size_t jj = 0; jj < nr; ++jj) acc[ii][jj] = c[ii * ldc + jj];
@@ -89,6 +120,7 @@ void micro_kernel_edge(std::size_t mr, std::size_t nr, std::size_t kcn,
   for (std::size_t ii = 0; ii < mr; ++ii) {
     for (std::size_t jj = 0; jj < nr; ++jj) c[ii * ldc + jj] = acc[ii][jj];
   }
+#endif
 }
 
 /// Full-tile micro-kernel: an MR × NR register tile updated with one rank-1

@@ -5,14 +5,14 @@
 
 #include "common/check.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/vmath.hpp"
 #include "tensor/workspace.hpp"
 
 namespace fedbiad::tensor {
 
 void axpy(float alpha, std::span<const float> x, std::span<float> y) {
   FEDBIAD_DCHECK(x.size() == y.size(), "axpy size mismatch");
-  const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  vmath::axpy(x.size(), alpha, x.data(), y.data());
 }
 
 void copy(std::span<const float> x, std::span<float> y) {
@@ -81,14 +81,7 @@ void add_column_sums(std::size_t rows, std::size_t cols, const float* src,
 void softmax_rows(Matrix& m) {
   for (std::size_t r = 0; r < m.rows(); ++r) {
     auto row = m.row(r);
-    const float mx = *std::max_element(row.begin(), row.end());
-    float denom = 0.0F;
-    for (auto& v : row) {
-      v = std::exp(v - mx);
-      denom += v;
-    }
-    const float inv = 1.0F / denom;
-    for (auto& v : row) v *= inv;
+    vmath::softmax_xent_row(row.size(), row.data(), row.data(), 1.0F);
   }
 }
 

@@ -1,0 +1,101 @@
+// Vectorized elementwise transcendental math — the second pillar of the
+// compute substrate next to tensor/gemm.hpp.
+//
+// After the matmuls moved onto the blocked GEMM, the training hot path
+// shifted to per-element scalar libm calls: the LSTM gate loop (three
+// sigmoids + two tanh per hidden unit per token), the softmax/cross-entropy
+// exp sweeps, and the SGD update. These kernels replace them with
+// polynomial SIMD implementations written with GNU vector extensions in the
+// same style as gemm.cpp: codegen is pinned (no autovectorizer reliance),
+// 256-bit lanes on x86-64-v3, 128-bit otherwise, and a scalar path that is
+// the *same* templated core instantiated at float — so the `ref::` golden
+// kernels and the vector kernels agree elementwise by construction.
+//
+// Accuracy contract (see docs/ARCHITECTURE.md "The vmath layer"):
+//   - exp: Cody–Waite range reduction + degree-6 polynomial, ≤ ~2 ulp over
+//     the whole finite range. Inputs are clamped to [-87.3, 88.3]; outputs
+//     therefore saturate into [~1.21e-38, ~2.19e38] — never 0, inf, or
+//     denormal (±inf inputs clamp too). Denormal inputs behave as 0. NaN
+//     inputs are unsupported.
+//   - tanh/sigmoid: built on exp (plus an odd polynomial below |x| < 0.625
+//     for tanh, preserving relative accuracy through the linear regime);
+//     ≤ ~4 ulp, exact saturation to ±1 / {0,1} limits for large |x|.
+//   - row reductions (softmax denominators) accumulate in float, split
+//     across vector lanes; the scalar ref accumulates left-to-right. The
+//     two orders differ by O(n·eps) — golden traces pin the end-to-end
+//     effect at 1e-6 relative tolerance across build variants.
+//
+// FEDBIAD_PORTABLE=ON compiles this TU without -march *and* with the
+// FEDBIAD_PORTABLE macro, which routes every public kernel through the
+// scalar ref:: path — the portable CI job therefore exercises the scalar
+// fallback end-to-end, goldens included.
+#pragma once
+
+#include <cstddef>
+
+namespace fedbiad::tensor::vmath {
+
+/// y[i] = exp(x[i]). In-place safe (y may alias x).
+void vexp(std::size_t n, const float* x, float* y);
+
+/// y[i] = tanh(x[i]). In-place safe.
+void vtanh(std::size_t n, const float* x, float* y);
+
+/// y[i] = 1 / (1 + exp(-x[i])). In-place safe.
+void vsigmoid(std::size_t n, const float* x, float* y);
+
+/// y[i] = max(x[i], 0). In-place safe.
+void relu(std::size_t n, const float* x, float* y);
+
+/// g[i] = pre[i] > 0 ? g[i] : 0 — the ReLU backward mask.
+void relu_backward(std::size_t n, const float* pre, float* g);
+
+/// y[i] += alpha * x[i].
+void axpy(std::size_t n, float alpha, const float* x, float* y);
+
+/// Fused SGD step: p[i] -= lr * (scale * g[i] + wd * p[i]), evaluated in
+/// exactly that association so vector and scalar builds round identically.
+void sgd_axpy(std::size_t n, float* p, const float* g, float lr, float scale,
+              float wd);
+
+/// Fused four-gate LSTM cell update over one sample's gate buffer.
+/// g4 holds the pre-activations [i | f | g | o], each block of length h,
+/// and is activated IN PLACE (sigmoid, sigmoid, tanh, sigmoid); then
+///   c[j]      = f·c_prev[j] + i·g      (c_prev == nullptr ⇒ c_prev ≡ 0)
+///   tanh_c[j] = tanh(c[j])
+///   h_out[j]  = o·tanh_c[j]
+/// One pass over the buffer replaces five scalar libm calls per unit.
+void lstm_cell(std::size_t h, float* g4, const float* c_prev, float* c,
+               float* tanh_c, float* h_out);
+
+/// Fused softmax row kernel: writes g[i] = scale · softmax(z)[i] and
+/// returns logsumexp(z) = max(z) + log(Σ exp(z - max)) — the two exp sweeps
+/// plus the normalization of a softmax-cross-entropy row in one kernel.
+/// The cross-entropy loss for label y is `logsumexp - z[y]`. In-place safe
+/// (g may alias z). n must be ≥ 1.
+float softmax_xent_row(std::size_t n, const float* z, float* g, float scale);
+
+/// Reduction-only variant for evaluation: returns logsumexp(z).
+float logsumexp(std::size_t n, const float* z);
+
+namespace ref {
+
+/// Scalar golden kernels with identical contracts: the same polynomial
+/// cores instantiated at float, one element at a time. These are the
+/// public entry points under FEDBIAD_PORTABLE and on non-GNU compilers.
+void vexp(std::size_t n, const float* x, float* y);
+void vtanh(std::size_t n, const float* x, float* y);
+void vsigmoid(std::size_t n, const float* x, float* y);
+void relu(std::size_t n, const float* x, float* y);
+void relu_backward(std::size_t n, const float* pre, float* g);
+void axpy(std::size_t n, float alpha, const float* x, float* y);
+void sgd_axpy(std::size_t n, float* p, const float* g, float lr, float scale,
+              float wd);
+void lstm_cell(std::size_t h, float* g4, const float* c_prev, float* c,
+               float* tanh_c, float* h_out);
+float softmax_xent_row(std::size_t n, const float* z, float* g, float scale);
+float logsumexp(std::size_t n, const float* z);
+
+}  // namespace ref
+
+}  // namespace fedbiad::tensor::vmath

@@ -314,6 +314,56 @@ TEST(Conv2D, GradientCheck) {
   }
 }
 
+TEST(Conv2D, GradientCheckStridedPadded) {
+  ParameterStore store;
+  Conv2D conv(store, "c", 2, 3, 3, 7, 8, /*stride=*/2, /*padding=*/1);
+  store.finalize();
+  Rng rng(19);
+  conv.init(store, rng);
+
+  Matrix x(2, 2 * 7 * 8);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Matrix r(2, conv.out_size());
+  r.fill_uniform(rng, -1.0F, 1.0F);
+
+  auto loss = [&] {
+    Matrix out;
+    conv.forward(store, x, out);
+    return tensor::dot(r.flat(), out.flat());
+  };
+
+  store.zero_grads();
+  Matrix out, g_in;
+  conv.forward(store, x, out);
+  conv.backward(store, x, r, &g_in);
+
+  const float eps = 1e-2F;
+  auto params = store.params();
+  auto grads = store.grads();
+  for (std::size_t i = 0; i < params.size(); i += 5) {
+    const float saved = params[i];
+    params[i] = saved + eps;
+    const double up = loss();
+    params[i] = saved - eps;
+    const double down = loss();
+    params[i] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    expect_grad_close(grads[i], numeric, 3e-3, 3e-2,
+                      "param " + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < x.size(); i += 7) {
+    const float saved = x.flat()[i];
+    x.flat()[i] = saved + eps;
+    const double up = loss();
+    x.flat()[i] = saved - eps;
+    const double down = loss();
+    x.flat()[i] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    expect_grad_close(g_in.flat()[i], numeric, 3e-3, 3e-2,
+                      "input " + std::to_string(i));
+  }
+}
+
 TEST(Loss, CrossEntropyMatchesManualComputation) {
   Matrix logits(1, 3);
   logits(0, 0) = 1.0F;
