@@ -7,6 +7,7 @@
 // (series keyed by "kernel"; items/sec and ns/iter per entry).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -22,6 +23,7 @@
 #include "nn/lstm.hpp"
 #include "nn/mlp_model.hpp"
 #include "tensor/ops.hpp"
+#include "wire/update_codec.hpp"
 
 namespace {
 
@@ -206,6 +208,63 @@ void BM_SignSgdCompress(benchmark::State& state) {
 }
 BENCHMARK(BM_SignSgdCompress);
 
+// The wire-path benches cover the new per-client serialization work on both
+// ends of the uplink: the client-side §IV-B row-masked encode, the engine-
+// thread decode that precedes aggregation, and the delta-varint sparse
+// encode used by the compressed paths. Items = model coordinates processed.
+void BM_EncodeRowMasked(benchmark::State& state) {
+  nn::MlpModel model({.input = 784, .hidden = 256, .classes = 10});
+  tensor::Rng rng(11);
+  model.init_params(rng);
+  const auto& store = model.store();
+  const auto pattern = core::DropPattern::sample(
+      store, 0.5, core::eligible_all(), rng);
+  for (auto _ : state) {
+    auto payload = wire::encode_row_masked(store, pattern.bits(),
+                                           store.params());
+    benchmark::DoNotOptimize(payload.bytes.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(store.size()));
+}
+BENCHMARK(BM_EncodeRowMasked);
+
+void BM_DecodeRowMasked(benchmark::State& state) {
+  nn::MlpModel model({.input = 784, .hidden = 256, .classes = 10});
+  tensor::Rng rng(12);
+  model.init_params(rng);
+  const auto& store = model.store();
+  const auto pattern = core::DropPattern::sample(
+      store, 0.5, core::eligible_all(), rng);
+  const auto payload =
+      wire::encode_row_masked(store, pattern.bits(), store.params());
+  for (auto _ : state) {
+    auto decoded = wire::decode_update(store, payload);
+    benchmark::DoNotOptimize(decoded.values.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(store.size()));
+}
+BENCHMARK(BM_DecodeRowMasked);
+
+void BM_EncodeSparse(benchmark::State& state) {
+  const std::size_t n = 1000000;
+  const auto k = static_cast<std::size_t>(state.range(0));
+  tensor::Rng rng(13);
+  const auto sampled = rng.sample_without_replacement(n, k);
+  std::vector<std::uint32_t> indices(sampled.begin(), sampled.end());
+  std::sort(indices.begin(), indices.end());
+  std::vector<float> values(k);
+  for (auto& v : values) v = static_cast<float>(rng.normal(0, 1));
+  for (auto _ : state) {
+    auto payload = wire::encode_sparse_varint(indices, values);
+    benchmark::DoNotOptimize(payload.bytes.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_EncodeSparse)->Arg(1000)->Arg(100000);
+
 void BM_Aggregate(benchmark::State& state) {
   const std::size_t n = 500000;
   const std::size_t clients = 10;
@@ -214,10 +273,10 @@ void BM_Aggregate(benchmark::State& state) {
   for (auto& o : outcomes) {
     o.samples = 100;
     o.values.resize(n);
-    o.present.resize(n);
+    o.present = wire::Bitset(n);
     for (std::size_t i = 0; i < n; ++i) {
       o.values[i] = static_cast<float>(rng.normal(0, 1));
-      o.present[i] = rng.bernoulli(0.5) ? 1 : 0;
+      o.present.set(i, rng.bernoulli(0.5));
     }
   }
   std::vector<float> global(n, 0.0F);

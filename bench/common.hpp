@@ -276,14 +276,19 @@ inline fl::SimulationResult run_async_strategy(
 }
 
 /// One Table-I-style row: accuracy ± std-ish (best/final), upload, ratio.
+/// `wire` is the exact measured bytes-on-the-wire per client per round —
+/// since the encode/decode refactor this is the size of the actually-encoded
+/// payload the server decoded, so it is printed raw next to the human-
+/// readable form.
 inline void print_table_row(const Workload& w, const std::string& method,
                             const fl::SimulationResult& result) {
   const auto upload = netsim::summarize_upload(result, w.dense_bytes);
   const double acc = 100.0 * result.best_accuracy(w.topk_metric);
-  std::printf("%-11s %-12s acc=%6.2f%%  upload=%10s  save=%5.2fx\n",
-              name_of(w.id), method.c_str(), acc,
-              netsim::format_bytes(upload.mean_bytes).c_str(),
-              upload.save_ratio);
+  std::printf(
+      "%-11s %-12s acc=%6.2f%%  upload=%10s  wire=%9.0fB  save=%5.2fx\n",
+      name_of(w.id), method.c_str(), acc,
+      netsim::format_bytes(upload.mean_bytes).c_str(), upload.mean_bytes,
+      upload.save_ratio);
   std::fflush(stdout);
 }
 

@@ -6,7 +6,7 @@
 #include "baselines/local_train.hpp"
 #include "common/check.hpp"
 #include "core/weight_score.hpp"
-#include "tensor/ops.hpp"
+#include "wire/update_codec.hpp"
 
 namespace fedbiad::baselines {
 
@@ -76,12 +76,9 @@ fl::ClientOutcome AfdStrategy::run_client(fl::ClientContext& ctx) {
 
   fl::ClientOutcome out;
   out.samples = ctx.shard.size();
-  out.values.resize(store.size());
-  tensor::copy(store.params(), out.values);
-  out.present.assign(store.size(), 1);
-  round_pattern_.mark_presence(store, out.present);
+  out.payload =
+      wire::encode_row_masked(store, round_pattern_.bits(), store.params());
   out.is_update = false;
-  out.uplink_bytes = round_pattern_.upload_bytes(store);
   out.mean_loss = stats.mean_loss;
   out.last_loss = stats.last_loss;
   return out;

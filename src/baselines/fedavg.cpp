@@ -1,8 +1,7 @@
 #include "baselines/fedavg.hpp"
 
 #include "baselines/local_train.hpp"
-#include "core/drop_pattern.hpp"
-#include "tensor/ops.hpp"
+#include "wire/update_codec.hpp"
 
 namespace fedbiad::baselines {
 
@@ -11,11 +10,8 @@ fl::ClientOutcome FedAvgStrategy::run_client(fl::ClientContext& ctx) {
   nn::ParameterStore& store = ctx.model.store();
   fl::ClientOutcome out;
   out.samples = ctx.shard.size();
-  out.values.resize(store.size());
-  tensor::copy(store.params(), out.values);
-  out.present.assign(store.size(), 1);
+  out.payload = wire::encode_dense_f32(store.params());
   out.is_update = false;
-  out.uplink_bytes = core::dense_model_bytes(store);
   out.mean_loss = stats.mean_loss;
   out.last_loss = stats.last_loss;
   return out;

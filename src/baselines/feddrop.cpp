@@ -2,7 +2,7 @@
 
 #include "baselines/local_train.hpp"
 #include "common/check.hpp"
-#include "tensor/ops.hpp"
+#include "wire/update_codec.hpp"
 
 namespace fedbiad::baselines {
 
@@ -20,12 +20,8 @@ fl::ClientOutcome FedDropStrategy::run_client(fl::ClientContext& ctx) {
 
   fl::ClientOutcome out;
   out.samples = ctx.shard.size();
-  out.values.resize(store.size());
-  tensor::copy(store.params(), out.values);
-  out.present.assign(store.size(), 1);
-  pattern.mark_presence(store, out.present);
+  out.payload = wire::encode_row_masked(store, pattern.bits(), store.params());
   out.is_update = false;
-  out.uplink_bytes = pattern.upload_bytes(store);
   out.mean_loss = stats.mean_loss;
   out.last_loss = stats.last_loss;
   return out;

@@ -6,7 +6,7 @@
 
 #include "baselines/local_train.hpp"
 #include "common/check.hpp"
-#include "tensor/ops.hpp"
+#include "wire/update_codec.hpp"
 
 namespace fedbiad::baselines {
 
@@ -20,15 +20,6 @@ fl::ClientOutcome FedMpStrategy::run_client(fl::ClientContext& ctx) {
   nn::ParameterStore& store = ctx.model.store();
   const std::size_t n = store.size();
 
-  fl::ClientOutcome out;
-  out.samples = ctx.shard.size();
-  out.values.resize(n);
-  tensor::copy(store.params(), out.values);
-  out.present.assign(n, 1);
-  out.is_update = false;
-  out.mean_loss = stats.mean_loss;
-  out.last_loss = stats.last_loss;
-
   // Global magnitude threshold over droppable groups (the prunable weights);
   // non-droppable parameters are always transmitted.
   std::vector<float> magnitudes;
@@ -40,8 +31,8 @@ fl::ClientOutcome FedMpStrategy::run_client(fl::ClientContext& ctx) {
       magnitudes.push_back(std::abs(params[i]));
     }
   }
-  std::size_t kept = 0;
-  std::size_t prunable = magnitudes.size();
+  std::vector<std::uint8_t> mask(n, 1);
+  const std::size_t prunable = magnitudes.size();
   if (prunable > 0 && prune_rate_ > 0.0) {
     const auto cut = static_cast<std::size_t>(
         std::llround(prune_rate_ * static_cast<double>(prunable)));
@@ -52,27 +43,20 @@ fl::ClientOutcome FedMpStrategy::run_client(fl::ClientContext& ctx) {
     for (const nn::RowGroup& g : store.groups()) {
       if (!g.droppable) continue;
       for (std::size_t i = g.offset; i < g.offset + g.size(); ++i) {
-        if (std::abs(params[i]) < threshold) {
-          out.present[i] = 0;
-          out.values[i] = 0.0F;
-        } else {
-          ++kept;
-        }
+        if (std::abs(params[i]) < threshold) mask[i] = 0;
       }
     }
-  } else {
-    kept = prunable;
   }
-  std::size_t fixed = n - prunable;
-  // Wire size: kept values plus whichever position encoding is cheaper —
-  // 16-bit block-relative indices (good at high prune rates) or a dense
-  // 1-bit occupancy bitmap (good at low rates) — and fixed parameters dense.
-  const std::uint64_t value_bytes =
-      static_cast<std::uint64_t>(kept) * sizeof(float);
-  const std::uint64_t index_bytes = std::min<std::uint64_t>(
-      static_cast<std::uint64_t>(kept) * 2, (prunable + 7) / 8);
-  out.uplink_bytes = value_bytes + index_bytes +
-                     static_cast<std::uint64_t>(fixed) * sizeof(float);
+
+  fl::ClientOutcome out;
+  out.samples = ctx.shard.size();
+  // Kept values plus whichever position encoding measures cheaper — a dense
+  // 1-bit occupancy bitmap (good at low prune rates) or delta-varint indices
+  // (good at high rates) — and fixed parameters dense; encode_pruned picks.
+  out.payload = wire::encode_pruned(store, mask, params);
+  out.is_update = false;
+  out.mean_loss = stats.mean_loss;
+  out.last_loss = stats.last_loss;
   return out;
 }
 

@@ -2,7 +2,6 @@
 
 #include "baselines/local_train.hpp"
 #include "common/check.hpp"
-#include "tensor/ops.hpp"
 
 namespace fedbiad::baselines {
 
@@ -20,14 +19,16 @@ fl::ClientOutcome FjordStrategy::run_client(fl::ClientContext& ctx) {
 
   fl::ClientOutcome out;
   out.samples = ctx.shard.size();
-  out.values.resize(store.size());
-  tensor::copy(store.params(), out.values);
-  out.present = std::move(mask);
+  out.payload = plan_.encode_submodel(store, ratio_, store.params());
   out.is_update = false;
-  out.uplink_bytes = plan_.submodel_bytes(store, ratio_);
   out.mean_loss = stats.mean_loss;
   out.last_loss = stats.last_loss;
   return out;
+}
+
+wire::Decoded FjordStrategy::decode_payload(
+    const nn::ParameterStore& layout, const wire::Payload& payload) const {
+  return plan_.decode_submodel(layout, payload);
 }
 
 }  // namespace fedbiad::baselines

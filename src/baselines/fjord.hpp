@@ -17,6 +17,11 @@ class FjordStrategy final : public fl::Strategy {
 
   [[nodiscard]] std::string name() const override { return "FjORD"; }
   fl::ClientOutcome run_client(fl::ClientContext& ctx) override;
+  /// Sub-model payloads carry only the width ratio; the coordinate mask is
+  /// rebuilt server-side through the shared WidthPlan.
+  [[nodiscard]] wire::Decoded decode_payload(
+      const nn::ParameterStore& layout,
+      const wire::Payload& payload) const override;
 
   [[nodiscard]] double width_ratio() const noexcept { return ratio_; }
 

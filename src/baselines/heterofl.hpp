@@ -23,6 +23,9 @@ class HeteroFlStrategy final : public fl::Strategy {
 
   [[nodiscard]] std::string name() const override { return "HeteroFL"; }
   fl::ClientOutcome run_client(fl::ClientContext& ctx) override;
+  [[nodiscard]] wire::Decoded decode_payload(
+      const nn::ParameterStore& layout,
+      const wire::Payload& payload) const override;
 
   [[nodiscard]] const std::vector<double>& levels() const noexcept {
     return levels_;

@@ -4,6 +4,9 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "wire/accounting.hpp"
+#include "wire/reader.hpp"
+#include "wire/writer.hpp"
 
 namespace fedbiad::baselines {
 
@@ -89,7 +92,52 @@ std::uint64_t WidthPlan::submodel_bytes(const nn::ParameterStore& store,
   build_mask(store, ratio, present);
   const auto kept = static_cast<std::uint64_t>(
       std::count(present.begin(), present.end(), std::uint8_t{1}));
-  return kept * sizeof(float) + 8;  // structure implicit: just the ratio
+  return wire::submodel_bytes(kept);
+}
+
+wire::Payload WidthPlan::encode_submodel(const nn::ParameterStore& store,
+                                         double ratio,
+                                         std::span<const float> values) const {
+  FEDBIAD_CHECK(values.size() == store.size(), "values / layout mismatch");
+  std::vector<std::uint8_t> present(store.size(), 1);
+  build_mask(store, ratio, present);
+  wire::Writer w;
+  w.f64(ratio);
+  std::uint64_t kept = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (present[i] == 0) continue;
+    w.f32(values[i]);
+    ++kept;
+  }
+  wire::Payload p{.kind = wire::PayloadKind::kSubModel,
+                  .bytes = std::move(w).take()};
+  FEDBIAD_DCHECK(p.size() == wire::submodel_bytes(kept),
+                 "sub-model encoding size drifted from accounting");
+  return p;
+}
+
+wire::Decoded WidthPlan::decode_submodel(const nn::ParameterStore& layout,
+                                         const wire::Payload& payload) const {
+  if (payload.kind != wire::PayloadKind::kSubModel) {
+    throw wire::DecodeError("expected a sub-model payload");
+  }
+  wire::Reader r(payload.bytes);
+  const double ratio = r.f64();
+  // Validate before build_mask: a corrupted ratio (including NaN) must be a
+  // decode failure, not a precondition trap deeper in.
+  if (!(ratio > 0.0 && ratio <= 1.0)) {
+    throw wire::DecodeError("sub-model width ratio out of range");
+  }
+  std::vector<std::uint8_t> mask(layout.size(), 1);
+  build_mask(layout, ratio, mask);
+  wire::Decoded d;
+  d.values.assign(layout.size(), 0.0F);
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i] != 0) d.values[i] = r.f32();
+  }
+  r.expect_done();
+  d.present = wire::Bitset::from_bytemask(mask);
+  return d;
 }
 
 WidthPlan WidthPlan::for_mlp(const nn::MlpModel& model) {

@@ -15,6 +15,7 @@
 #include "nn/lstm_lm_model.hpp"
 #include "nn/mlp_model.hpp"
 #include "nn/parameter_store.hpp"
+#include "wire/update_codec.hpp"
 
 namespace fedbiad::baselines {
 
@@ -49,10 +50,23 @@ class WidthPlan {
                   std::span<std::uint8_t> present) const;
 
   /// Wire size of the sub-model at `ratio`: surviving coordinates at 4 bytes
-  /// plus an 8-byte header (the structure is implicit — one of ordered
-  /// dropout's selling points).
+  /// plus the 8-byte width ratio (the structure is implicit — one of ordered
+  /// dropout's selling points). Exactly encode_submodel(...).size(), via the
+  /// shared wire::submodel_bytes accounting.
   [[nodiscard]] std::uint64_t submodel_bytes(const nn::ParameterStore& store,
                                              double ratio) const;
+
+  /// Encodes the width-`ratio` sub-model of `values`: f64 ratio followed by
+  /// the surviving coordinates in ascending order (wire kind kSubModel).
+  [[nodiscard]] wire::Payload encode_submodel(
+      const nn::ParameterStore& store, double ratio,
+      std::span<const float> values) const;
+
+  /// Decodes a kSubModel payload: rebuilds the coordinate mask from the
+  /// transmitted ratio through this plan, then scatters the surviving
+  /// values. Throws wire::DecodeError on malformed input.
+  [[nodiscard]] wire::Decoded decode_submodel(
+      const nn::ParameterStore& layout, const wire::Payload& payload) const;
 
   [[nodiscard]] const std::vector<Rule>& rules() const noexcept {
     return rules_;

@@ -4,7 +4,8 @@
 
 #include "baselines/local_train.hpp"
 #include "common/check.hpp"
-#include "tensor/ops.hpp"
+#include "wire/accounting.hpp"
+#include "wire/reader.hpp"
 
 namespace fedbiad::compress {
 
@@ -46,15 +47,12 @@ fl::ClientOutcome SketchedStrategy::run_client(fl::ClientContext& ctx) {
   }
   CompressorState& state =
       states_.get_or_create(ctx.client_id, [] { return CompressorState{}; });
-  const SparseUpdate sparse = compressor_->compress(update, {}, state);
+  SparseUpdate sparse = compressor_->compress(update, {}, state);
 
   fl::ClientOutcome out;
   out.samples = ctx.shard.size();
-  out.values.resize(n);
-  out.present.resize(n);
-  sparse.materialize(out.values, out.present);
+  out.payload = std::move(sparse.payload);
   out.is_update = true;
-  out.uplink_bytes = sparse.wire_bytes;
   out.mean_loss = stats.mean_loss;
   out.last_loss = stats.last_loss;
   return out;
@@ -71,40 +69,65 @@ fl::ClientOutcome ComposedStrategy::run_client(fl::ClientContext& ctx) {
   fl::ClientOutcome inner_out = inner_->run_client(ctx);
   FEDBIAD_CHECK(!inner_out.is_update,
                 "composition expects a parameter-type inner strategy");
-  const std::size_t n = inner_out.values.size();
+  FEDBIAD_CHECK(inner_out.payload.kind == wire::PayloadKind::kRowMasked,
+                "composition expects a row-masked inner strategy");
+  const nn::ParameterStore& store = ctx.model.store();
+  const std::size_t n = store.size();
+
+  // The client owns both halves of the inner protocol here: decode its own
+  // row-masked upload to recover the kept values and the candidate set.
+  const wire::Decoded inner_dec =
+      inner_->decode_payload(store, inner_out.payload);
 
   // Update restricted to the coordinates the inner strategy kept.
   std::vector<float> update(n, 0.0F);
+  std::vector<std::uint8_t> candidates(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
-    if (inner_out.present[i] == 0) continue;
-    update[i] = inner_out.values[i] - ctx.global_params[i];
+    if (!inner_dec.present.test(i)) continue;
+    update[i] = inner_dec.values[i] - ctx.global_params[i];
+    candidates[i] = 1;
   }
   CompressorState& state =
       states_.get_or_create(ctx.client_id, [] { return CompressorState{}; });
-  const SparseUpdate sparse =
-      compressor_->compress(update, inner_out.present, state);
+  SparseUpdate sparse = compressor_->compress(update, candidates, state);
 
+  // Composed framing: the inner strategy's packed row pattern β (its
+  // structure announcement — the values themselves are not re-sent) followed
+  // by the compressor's section. The β prefix is byte-identical to the head
+  // of the inner payload, so it is spliced rather than re-encoded.
+  const std::size_t prefix = wire::packed_bits_bytes(store.droppable_rows());
   fl::ClientOutcome out;
   out.samples = inner_out.samples;
-  out.values.resize(n);
-  out.present.resize(n);
-  sparse.materialize(out.values, out.present);
-  // Dense-encoded compressors cover every coordinate; intersect with the
-  // inner mask so dropped rows stay absent.
-  for (std::size_t i = 0; i < n; ++i) {
-    if (inner_out.present[i] == 0) {
-      out.present[i] = 0;
-      out.values[i] = 0.0F;
-    }
-  }
+  out.payload.kind = sparse.payload.kind;
+  out.payload.aux = sparse.payload.aux;
+  out.payload.bytes.reserve(prefix + sparse.payload.bytes.size());
+  out.payload.bytes.assign(inner_out.payload.bytes.begin(),
+                           inner_out.payload.bytes.begin() +
+                               static_cast<std::ptrdiff_t>(prefix));
+  out.payload.bytes.insert(out.payload.bytes.end(),
+                           sparse.payload.bytes.begin(),
+                           sparse.payload.bytes.end());
   out.is_update = true;
-  // Wire size: compressed payload plus the inner strategy's 1-bit-per-row
-  // dropping pattern (the values themselves are not re-sent).
-  const std::size_t rows = ctx.model.store().droppable_rows();
-  out.uplink_bytes = sparse.wire_bytes + (rows + 7) / 8;
   out.mean_loss = inner_out.mean_loss;
   out.last_loss = inner_out.last_loss;
   return out;
+}
+
+wire::Decoded ComposedStrategy::decode_payload(
+    const nn::ParameterStore& layout, const wire::Payload& payload) const {
+  const std::size_t prefix = wire::packed_bits_bytes(layout.droppable_rows());
+  if (payload.bytes.size() < prefix) {
+    throw wire::DecodeError("composed payload shorter than its row pattern");
+  }
+  const auto bytes = std::span<const std::uint8_t>(payload.bytes);
+  const wire::Bitset candidates =
+      wire::expand_row_mask(layout, bytes.first(prefix));
+  wire::Payload section;
+  section.kind = payload.kind;
+  section.aux = payload.aux;
+  section.bytes.assign(bytes.begin() + static_cast<std::ptrdiff_t>(prefix),
+                       bytes.end());
+  return wire::decode_update(layout, section, &candidates);
 }
 
 }  // namespace fedbiad::compress

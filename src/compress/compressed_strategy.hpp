@@ -46,6 +46,11 @@ class ComposedStrategy final : public fl::Strategy {
     inner_->end_round(round, old_global, new_global);
   }
   fl::ClientOutcome run_client(fl::ClientContext& ctx) override;
+  /// Composed payloads are framed as [packed inner row pattern β][compressor
+  /// section]; decoding expands β into the candidate set first.
+  [[nodiscard]] wire::Decoded decode_payload(
+      const nn::ParameterStore& layout,
+      const wire::Payload& payload) const override;
   [[nodiscard]] double compute_cost_multiplier() const override {
     return inner_->compute_cost_multiplier();
   }

@@ -12,15 +12,24 @@
 #include <string>
 #include <vector>
 
+#include "wire/update_codec.hpp"
+
 namespace fedbiad::compress {
 
-/// A compressed update plus its wire-size accounting. `indices` empty means
-/// a dense encoding (`values.size() == dense_size`).
+/// A compressed update: the in-memory sparse form (`indices` empty means a
+/// dense encoding with `values.size() == dense_size`) plus `payload`, the
+/// actually-encoded wire bytes the compressor emits. The reported traffic is
+/// payload.size(), measured; materialize() is the in-memory reference the
+/// decode path is tested against.
 struct SparseUpdate {
   std::vector<std::uint32_t> indices;
   std::vector<float> values;
-  std::uint64_t wire_bytes = 0;
   std::size_t dense_size = 0;
+  wire::Payload payload;
+
+  [[nodiscard]] std::uint64_t wire_bytes() const noexcept {
+    return payload.size();
+  }
 
   /// Writes the update into `out` (zeroing untouched coordinates) and
   /// marks transmitted coordinates in `present`.

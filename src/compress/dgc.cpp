@@ -45,8 +45,10 @@ SparseUpdate DgcCompressor::compress(std::span<const float> update,
     state.residual[idx] = 0.0F;
     state.momentum[idx] = 0.0F;
   }
-  out.wire_bytes = out.indices.size() *
-                   (sizeof(float) + cfg_.position_bits / 8);
+  // Fixed-width positions (64-bit by default: the paper's Table II fairness
+  // convention); values as raw f32.
+  out.payload =
+      wire::encode_sparse_fixed(out.indices, out.values, cfg_.position_bits);
   return out;
 }
 

@@ -20,13 +20,20 @@ SparseUpdate FedPaqCompressor::compress(std::span<const float> update,
     max_abs = std::max(max_abs, std::abs(update[i]));
   }
   const float scale = max_abs > 0.0F ? max_abs / 127.0F : 1.0F;
+  std::vector<std::int8_t> quants;
+  quants.reserve(update.size());
   for (std::size_t i = 0; i < update.size(); ++i) {
     if (!present.empty() && present[i] == 0) continue;
-    const auto q = static_cast<int>(std::lround(update[i] / scale));
-    out.values[i] = static_cast<float>(std::clamp(q, -127, 127)) * scale;
+    const auto q = static_cast<std::int8_t>(
+        std::clamp(static_cast<int>(std::lround(update[i] / scale)), -127,
+                   127));
+    // The dequantized float mirrors what decode_int8_dense computes, so the
+    // server reconstructs these values bit for bit.
+    out.values[i] = static_cast<float>(q) * scale;
+    quants.push_back(q);
   }
   // Dense over candidates: positions are implicit.
-  out.wire_bytes = candidate_count(update.size(), present) + sizeof(float);
+  out.payload = wire::encode_int8_dense(scale, quants, quants.size());
   return out;
 }
 
@@ -50,7 +57,9 @@ SparseUpdate SignSgdCompressor::compress(std::span<const float> update,
     if (!present.empty() && present[i] == 0) continue;
     out.values[i] = update[i] >= 0.0F ? scale : -scale;
   }
-  out.wire_bytes = (count + 7) / 8 + sizeof(float);
+  // One sign bit per candidate (taken from the ±scale values, so ±0
+  // round-trips exactly) plus the shared magnitude.
+  out.payload = wire::encode_sign_mean(scale, present, out.values);
   return out;
 }
 

@@ -30,7 +30,10 @@ SparseUpdate StcCompressor::compress(std::span<const float> update,
   SparseUpdate out;
   out.dense_size = n;
   out.indices = select_top_k(state.residual, present, k);
-  if (out.indices.empty()) return out;
+  if (out.indices.empty()) {
+    out.payload = wire::encode_ternary(0.0F, {}, {}, cfg_.position_bits);
+    return out;
+  }
 
   double mu_acc = 0.0;
   for (const auto idx : out.indices) {
@@ -39,14 +42,17 @@ SparseUpdate StcCompressor::compress(std::span<const float> update,
   const float mu =
       static_cast<float>(mu_acc / static_cast<double>(out.indices.size()));
   out.values.reserve(out.indices.size());
+  std::vector<std::uint8_t> negative;
+  negative.reserve(out.indices.size());
   for (const auto idx : out.indices) {
     const float sent = state.residual[idx] >= 0.0F ? mu : -mu;
     out.values.push_back(sent);
+    negative.push_back(state.residual[idx] >= 0.0F ? 0 : 1);
     state.residual[idx] -= sent;  // error feedback keeps what μ missed
   }
-  // One sign bit + 64-bit position per value, plus the 4-byte μ.
-  out.wire_bytes =
-      (out.indices.size() * (cfg_.position_bits + 1) + 7) / 8 + sizeof(float);
+  // One sign bit + 64-bit position per value (bit-packed), plus the 4-byte μ.
+  out.payload =
+      wire::encode_ternary(mu, out.indices, negative, cfg_.position_bits);
   return out;
 }
 

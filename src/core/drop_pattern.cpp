@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "tensor/ops.hpp"
+#include "wire/accounting.hpp"
 
 namespace fedbiad::core {
 
@@ -97,12 +98,13 @@ std::uint64_t DropPattern::upload_bytes(const nn::ParameterStore& store) const {
       if (kept_[store.droppable_index(g, r)]) weights += grp.row_len;
     }
   }
-  const std::uint64_t mask_bytes = (rows() + 7) / 8;  // 1 bit per row (β)
-  return weights * sizeof(float) + mask_bytes;
+  // Same formula the encoder is checked against, so the analytic oracle and
+  // wire::encode_row_masked cannot drift apart.
+  return wire::row_masked_bytes(weights, rows());
 }
 
 std::uint64_t dense_model_bytes(const nn::ParameterStore& store) {
-  return static_cast<std::uint64_t>(store.size()) * sizeof(float);
+  return wire::dense_f32_bytes(store.size());
 }
 
 }  // namespace fedbiad::core

@@ -144,14 +144,12 @@ fl::ClientOutcome FedBiadStrategy::run_client(fl::ClientContext& ctx) {
   }
   sync_kept_rows(store, pattern, store.params(), u_full);
 
-  // Step 3: upload kept rows + pattern.
+  // Step 3: encode kept rows + the packed pattern β — the actual bytes the
+  // client transmits (§IV-B); the server decodes them before aggregation.
   fl::ClientOutcome out;
   out.samples = ctx.shard.size();
-  out.values = std::move(u_full);
-  out.present.assign(n, 1);
-  pattern.mark_presence(store, out.present);
+  out.payload = wire::encode_row_masked(store, pattern.bits(), u_full);
   out.is_update = false;
-  out.uplink_bytes = pattern.upload_bytes(store);
   out.mean_loss = trend.mean_loss();
   out.last_loss = trend.last_loss();
   return out;

@@ -1,6 +1,7 @@
 #include "fl/aggregate.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 
 #include "common/check.hpp"
@@ -15,6 +16,45 @@ namespace {
 // accumulator panels stay cache-resident while every client's values /
 // present arrays are streamed through them sequentially.
 constexpr std::size_t kBlock = 4096;
+
+/// Accumulates one client's contribution over coordinates [begin, end) a
+/// presence word at a time: rows a strategy kept produce all-ones words that
+/// take the branch-free path, dropped rows produce all-zero words that are
+/// skipped outright, and mixed words walk only their set bits via
+/// countr_zero. `acc`/`pw` are the block-local panels, indexed i - base.
+void accumulate_client(const ClientOutcome& o, std::size_t begin,
+                       std::size_t end, std::size_t base, double* acc,
+                       double* pw) {
+  const double w = static_cast<double>(o.samples);
+  const float* v = o.values.data();
+  const std::span<const std::uint64_t> words = o.present.words();
+  constexpr std::size_t kWordBits = wire::Bitset::kWordBits;
+  auto scalar = [&](std::size_t i) {
+    if (!o.present.test(i)) return;
+    acc[i - base] += w * static_cast<double>(v[i]);
+    pw[i - base] += w;
+  };
+  std::size_t i = begin;
+  for (; i < end && i % kWordBits != 0; ++i) scalar(i);
+  for (; i + kWordBits <= end; i += kWordBits) {
+    std::uint64_t bits = words[i / kWordBits];
+    if (bits == 0) continue;
+    if (bits == ~std::uint64_t{0}) {
+      for (std::size_t t = 0; t < kWordBits; ++t) {
+        acc[i + t - base] += w * static_cast<double>(v[i + t]);
+        pw[i + t - base] += w;
+      }
+      continue;
+    }
+    while (bits != 0) {
+      const auto t = static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      acc[i + t - base] += w * static_cast<double>(v[i + t]);
+      pw[i + t - base] += w;
+    }
+  }
+  for (; i < end; ++i) scalar(i);
+}
 
 }  // namespace
 
@@ -49,14 +89,8 @@ void aggregate(std::span<float> global_params,
           std::fill_n(acc.begin(), len, 0.0);
           std::fill_n(present_weight.begin(), len, 0.0);
           for (const ClientOutcome& o : outcomes) {
-            const float* v = o.values.data() + b0;
-            const std::uint8_t* p = o.present.data() + b0;
-            const auto w = static_cast<double>(o.samples);
-            for (std::size_t i = 0; i < len; ++i) {
-              if (p[i] == 0) continue;
-              acc[i] += w * static_cast<double>(v[i]);
-              present_weight[i] += w;
-            }
+            accumulate_client(o, b0, b0 + len, b0, acc.data(),
+                              present_weight.data());
           }
           float* g = global_params.data() + b0;
           if (is_update) {

@@ -16,6 +16,7 @@
 #include "fl/scheduler.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tensor/ops.hpp"
+#include "wire/update_codec.hpp"
 
 namespace fedbiad::fl {
 
@@ -101,7 +102,7 @@ void staleness_merge(std::span<float> global,
     const PendingUpdate& up = batch[k];
     FEDBIAD_CHECK(up.outcome.values.size() == n &&
                       up.outcome.present.size() == n,
-                  "client outcome size mismatch");
+                  "client outcome size mismatch (payload not decoded?)");
     FEDBIAD_CHECK(up.outcome.samples > 0, "client outcome without samples");
     FEDBIAD_CHECK(commit_version >= up.dispatch_version,
                   "update from the future");
@@ -118,7 +119,7 @@ void staleness_merge(std::span<float> global,
           double weight = 0.0;
           for (std::size_t k = 0; k < batch.size(); ++k) {
             const PendingUpdate& up = batch[k];
-            if (up.outcome.present[i] == 0) continue;
+            if (!up.outcome.present.test(i)) continue;
             const double v = static_cast<double>(up.outcome.values[i]);
             const double delta =
                 up.outcome.is_update ? v : v - static_cast<double>(global[i]);
@@ -238,6 +239,9 @@ SimulationResult AsyncSimulation::run() {
   };
   std::deque<Job> jobs;
   std::shared_ptr<const std::vector<float>> version_snapshot;
+  // Measured size of the per-version model broadcast (encoded below, once
+  // per version); feeds both the link timing and RoundRecord accounting.
+  std::uint64_t downlink_bytes = 0;
 
   EventScheduler sched;
   std::unique_ptr<AsyncAggregator> aggregator;
@@ -300,7 +304,10 @@ SimulationResult AsyncSimulation::run() {
     up->dispatch_clock = job.dispatch_clock;
     up->compute_seconds = job.compute_s;
     up->download_seconds = job.download_s;
-    up->upload_seconds = profiles[job.client].upload_seconds(out.uplink_bytes);
+    // Link timing runs on the measured size of the encoded buffer — the
+    // payload is what travels, so its byte count is what the uplink carries.
+    up->upload_seconds =
+        profiles[job.client].upload_seconds(out.payload.size());
     up->outcome = std::move(out);
     job.pending = std::move(up);
     Job* jp = &job;
@@ -320,11 +327,21 @@ SimulationResult AsyncSimulation::run() {
     job.version = version;
     job.dispatch_clock = sched.now();
     const auto& prof = profiles[client];
-    job.download_s = prof.download_seconds(strategy_->downlink_bytes(n));
-    job.compute_s = prof.compute_seconds(work_units(client));
     if (!version_snapshot) {
-      version_snapshot = std::make_shared<const std::vector<float>>(global);
+      // Server→client path: encode the model broadcast for real (once per
+      // version), measure it, and hand clients the decoded copy. f32
+      // sections are lossless, so the snapshot is bit-identical to `global`.
+      const wire::Payload broadcast = wire::encode_dense_f32(global);
+      downlink_bytes = broadcast.size();
+      FEDBIAD_CHECK(downlink_bytes == strategy_->downlink_bytes(n),
+                    "measured downlink diverged from the analytic oracle");
+      wire::Decoded decoded =
+          wire::decode_update(global_model->store(), broadcast);
+      version_snapshot = std::make_shared<const std::vector<float>>(
+          std::move(decoded.values));
     }
+    job.download_s = prof.download_seconds(downlink_bytes);
+    job.compute_s = prof.compute_seconds(work_units(client));
     job.snapshot = version_snapshot;
     busy[client] = &job;
     ++dispatched;
@@ -460,7 +477,7 @@ SimulationResult AsyncSimulation::run() {
       rec.upload_seconds = std::max(rec.upload_seconds, up.upload_seconds);
     }
     rec.train_loss = loss_acc / static_cast<double>(batch.size());
-    rec.downlink_bytes = strategy_->downlink_bytes(n);
+    rec.downlink_bytes = downlink_bytes;
     for (const PendingUpdate& up : batch) {
       rec.download_seconds = std::max(
           rec.download_seconds,
@@ -491,6 +508,11 @@ SimulationResult AsyncSimulation::run() {
   on_arrival = [&](Job& job) {
     PendingUpdate up = std::move(*job.pending);
     job.pending.reset();
+    // The upload has arrived: decode the payload on the engine thread into
+    // the dense values + packed presence the aggregator consumes, record the
+    // measured uplink size, and drop the raw bytes.
+    decode_outcome(*strategy_, global_model->store(), up.outcome);
+    up.outcome.payload.bytes = {};
     auto batch = aggregator->offer(std::move(up));
     if (!batch.empty()) commit(std::move(batch));
     if (!barrier) top_up();

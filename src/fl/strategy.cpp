@@ -1,0 +1,23 @@
+#include "fl/strategy.hpp"
+
+#include "common/check.hpp"
+
+namespace fedbiad::fl {
+
+wire::Decoded Strategy::decode_payload(const nn::ParameterStore& layout,
+                                       const wire::Payload& payload) const {
+  return wire::decode_update(layout, payload);
+}
+
+void decode_outcome(const Strategy& strategy, const nn::ParameterStore& layout,
+                    ClientOutcome& out) {
+  wire::Decoded decoded = strategy.decode_payload(layout, out.payload);
+  FEDBIAD_CHECK(decoded.values.size() == layout.size() &&
+                    decoded.present.size() == layout.size(),
+                "decoded update does not match the model layout");
+  out.values = std::move(decoded.values);
+  out.present = std::move(decoded.present);
+  out.uplink_bytes = out.payload.size();
+}
+
+}  // namespace fedbiad::fl

@@ -13,6 +13,8 @@
 #include "nn/model.hpp"
 #include "nn/optimizer.hpp"
 #include "tensor/rng.hpp"
+#include "wire/bitset.hpp"
+#include "wire/update_codec.hpp"
 
 namespace fedbiad::fl {
 
@@ -26,18 +28,21 @@ struct TrainSettings {
 
 /// What one client hands back to the server.
 ///
-/// `values` is the dense, already-reconstructed length-N vector the server
-/// works with (the wire encoding is captured separately by `uplink_bytes`):
-/// model parameters when `is_update` is false, or a delta to add to the
-/// global model when true. `present[i]` says whether coordinate i was
-/// actually transmitted — aggregation only trusts transmitted coordinates.
+/// The client side fills `payload` — the actually-encoded upload buffer —
+/// plus the protocol metadata (`samples`, `is_update`, losses). The server
+/// decodes the payload on the engine thread before aggregation (see
+/// decode_outcome below), filling `values` (the dense length-N vector, with
+/// untransmitted coordinates zeroed), `present` (1 bit per coordinate —
+/// aggregation only trusts transmitted coordinates), and `uplink_bytes`
+/// (payload.size(): measured traffic, not a model of it).
 struct ClientOutcome {
   std::size_t client_id = 0;
   std::size_t samples = 0;  ///< |D_k|, the aggregation weight (eq. 10)
-  std::vector<float> values;
-  std::vector<std::uint8_t> present;
+  wire::Payload payload;    ///< the client's encoded upload
+  std::vector<float> values;  ///< decoded by the server (engine thread)
+  wire::Bitset present;       ///< decoded by the server (engine thread)
   bool is_update = false;
-  std::uint64_t uplink_bytes = 0;
+  std::uint64_t uplink_bytes = 0;  ///< measured: payload.size()
   double train_seconds = 0.0;  ///< local wall time (LTTR contribution)
   double mean_loss = 0.0;      ///< average training loss over the V iterations
   double last_loss = 0.0;      ///< loss of the final iteration
@@ -80,9 +85,19 @@ class Strategy {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
-  /// Runs one client's local training. Executed on a worker thread; must not
-  /// touch shared mutable state except through its own synchronized members.
+  /// Runs one client's local training and encodes the upload into
+  /// ClientOutcome::payload. Executed on a worker thread; must not touch
+  /// shared mutable state except through its own synchronized members.
   virtual ClientOutcome run_client(ClientContext& ctx) = 0;
+
+  /// Decodes one of this strategy's payloads against the server's model
+  /// layout. Runs on the engine thread when an upload arrives, before
+  /// aggregation. The default handles every layout-generic wire kind;
+  /// strategies whose encoding relies on session structure beyond the layout
+  /// (FjORD/HeteroFL's width plan, the composed dropout+compressor framing)
+  /// override it.
+  [[nodiscard]] virtual wire::Decoded decode_payload(
+      const nn::ParameterStore& layout, const wire::Payload& payload) const;
 
   /// Called on the engine thread before clients start (round is 1-based).
   virtual void begin_round(std::size_t round,
@@ -105,7 +120,12 @@ class Strategy {
     return AggregationRule::kPerCoordinateNormalized;
   }
 
-  /// Downlink payload per client (default: the dense global model).
+  /// Analytic downlink size per client. The engines currently encode the
+  /// broadcast as the dense global model, use the measured size, and
+  /// FEDBIAD_CHECK it against this oracle — so overriding it (e.g. for a
+  /// sub-model downlink) requires teaching the engine to encode that
+  /// broadcast too; the check turns a silently mis-timed simulation into a
+  /// loud error until then.
   [[nodiscard]] virtual std::uint64_t downlink_bytes(
       std::size_t param_count) const {
     return static_cast<std::uint64_t>(param_count) * sizeof(float);
@@ -119,5 +139,13 @@ class Strategy {
 };
 
 using StrategyPtr = std::shared_ptr<Strategy>;
+
+/// The server-side receive step: decodes `out.payload` through the
+/// strategy's codec into `out.values` / `out.present` and records the
+/// measured `out.uplink_bytes`. The engines call this on the engine thread
+/// when an upload arrives; tests and tools that drive run_client directly
+/// call it to reconstruct the dense view.
+void decode_outcome(const Strategy& strategy,
+                    const nn::ParameterStore& layout, ClientOutcome& out);
 
 }  // namespace fedbiad::fl

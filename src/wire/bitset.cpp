@@ -1,0 +1,24 @@
+#include "wire/bitset.hpp"
+
+#include "wire/reader.hpp"
+
+namespace fedbiad::wire {
+
+Bitset Bitset::from_packed(std::span<const std::uint8_t> packed,
+                           std::size_t bits) {
+  if (packed.size() != (bits + 7) / 8) {
+    throw DecodeError("packed bitset length mismatch");
+  }
+  Bitset b(bits);
+  for (std::size_t i = 0; i < packed.size(); ++i) {
+    b.words_[i / 8] |= static_cast<std::uint64_t>(packed[i]) << (i % 8 * 8);
+  }
+  const std::size_t tail = bits % kWordBits;
+  if (tail != 0 && !b.words_.empty() &&
+      (b.words_.back() >> tail) != 0) {
+    throw DecodeError("nonzero padding bits in packed bitset");
+  }
+  return b;
+}
+
+}  // namespace fedbiad::wire

@@ -1,0 +1,183 @@
+// Packed presence bitset: 1 bit per coordinate instead of the byte-per-
+// coordinate masks the strategies used to ship to the server. Cuts the
+// server-side memory of every pending ClientOutcome 8× and gives the
+// aggregator a word-at-a-time fast path (all-ones words skip the per-bit
+// branch entirely; all-zero words are skipped outright).
+//
+// Bit order matches the wire convention everywhere in src/wire/: bit i lives
+// in byte i/8 at position i%8, i.e. the little-endian bytes of the 64-bit
+// words ARE the packed wire representation (see packed_bytes()).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <iterator>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace fedbiad::wire {
+
+class Bitset {
+ public:
+  static constexpr std::size_t kWordBits = 64;
+
+  Bitset() = default;
+
+  explicit Bitset(std::size_t bits, bool value = false) { assign(bits, value); }
+
+  void assign(std::size_t bits, bool value) {
+    bits_ = bits;
+    words_.assign((bits + kWordBits - 1) / kWordBits,
+                  value ? ~std::uint64_t{0} : 0);
+    clear_tail();
+  }
+
+  /// Packs a byte-per-coordinate mask (nonzero = set).
+  static Bitset from_bytemask(std::span<const std::uint8_t> mask) {
+    Bitset b(mask.size());
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      if (mask[i] != 0) b.set(i);
+    }
+    return b;
+  }
+
+  /// Inverse of from_bytemask (handy for code that still wants the wide
+  /// form, e.g. a compressor's candidate scan).
+  [[nodiscard]] std::vector<std::uint8_t> to_bytemask() const {
+    std::vector<std::uint8_t> mask(bits_);
+    for (std::size_t i = 0; i < bits_; ++i) mask[i] = test(i) ? 1 : 0;
+    return mask;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits_; }
+  [[nodiscard]] bool empty() const noexcept { return bits_ == 0; }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    FEDBIAD_DCHECK(i < bits_, "bit index out of range");
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1U;
+  }
+
+  [[nodiscard]] bool operator[](std::size_t i) const { return test(i); }
+
+  void set(std::size_t i, bool value = true) {
+    FEDBIAD_DCHECK(i < bits_, "bit index out of range");
+    const std::uint64_t mask = std::uint64_t{1} << (i % kWordBits);
+    if (value) {
+      words_[i / kWordBits] |= mask;
+    } else {
+      words_[i / kWordBits] &= ~mask;
+    }
+  }
+
+  void reset(std::size_t i) { set(i, false); }
+
+  /// Sets bits [begin, end) word-at-a-time.
+  void set_range(std::size_t begin, std::size_t end) {
+    FEDBIAD_DCHECK(begin <= end && end <= bits_, "bit range out of bounds");
+    while (begin < end && begin % kWordBits != 0) set(begin++);
+    while (begin + kWordBits <= end) {
+      words_[begin / kWordBits] = ~std::uint64_t{0};
+      begin += kWordBits;
+    }
+    while (begin < end) set(begin++);
+  }
+
+  /// Number of set bits (hardware popcount per word).
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t c = 0;
+    for (const std::uint64_t w : words_) {
+      c += static_cast<std::size_t>(std::popcount(w));
+    }
+    return c;
+  }
+
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return words_;
+  }
+
+  /// The packed little-endian byte form — exactly the ceil(size/8) bytes the
+  /// wire format transmits.
+  [[nodiscard]] std::vector<std::uint8_t> packed_bytes() const {
+    std::vector<std::uint8_t> out((bits_ + 7) / 8);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = static_cast<std::uint8_t>(words_[i / 8] >>
+                                         (i % 8 * 8));
+    }
+    return out;
+  }
+
+  /// Unpacks ceil(bits/8) wire bytes. Padding bits past `bits` must be zero.
+  static Bitset from_packed(std::span<const std::uint8_t> packed,
+                            std::size_t bits);
+
+  bool operator==(const Bitset&) const = default;
+
+  /// Read-only random-access iteration yielding bool, so the std::
+  /// algorithms used by tests (all_of, count) work unchanged.
+  class const_iterator {
+   public:
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = bool;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const bool*;
+    using reference = bool;
+
+    const_iterator() = default;
+    const_iterator(const Bitset* b, std::size_t i) : b_(b), i_(i) {}
+
+    reference operator*() const { return b_->test(i_); }
+    reference operator[](difference_type d) const {
+      return b_->test(i_ + static_cast<std::size_t>(d));
+    }
+    const_iterator& operator++() { ++i_; return *this; }
+    const_iterator operator++(int) { auto t = *this; ++i_; return t; }
+    const_iterator& operator--() { --i_; return *this; }
+    const_iterator operator--(int) { auto t = *this; --i_; return t; }
+    const_iterator& operator+=(difference_type d) {
+      i_ = static_cast<std::size_t>(static_cast<difference_type>(i_) + d);
+      return *this;
+    }
+    const_iterator& operator-=(difference_type d) { return *this += -d; }
+    friend const_iterator operator+(const_iterator it, difference_type d) {
+      return it += d;
+    }
+    friend const_iterator operator+(difference_type d, const_iterator it) {
+      return it += d;
+    }
+    friend const_iterator operator-(const_iterator it, difference_type d) {
+      return it -= d;
+    }
+    friend difference_type operator-(const_iterator a, const_iterator b) {
+      return static_cast<difference_type>(a.i_) -
+             static_cast<difference_type>(b.i_);
+    }
+    friend bool operator==(const_iterator a, const_iterator b) {
+      return a.i_ == b.i_;
+    }
+    friend auto operator<=>(const_iterator a, const_iterator b) {
+      return a.i_ <=> b.i_;
+    }
+
+   private:
+    const Bitset* b_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  [[nodiscard]] const_iterator begin() const { return {this, 0}; }
+  [[nodiscard]] const_iterator end() const { return {this, bits_}; }
+
+ private:
+  void clear_tail() {
+    const std::size_t tail = bits_ % kWordBits;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (std::uint64_t{1} << tail) - 1;
+    }
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::size_t bits_ = 0;
+};
+
+}  // namespace fedbiad::wire

@@ -1,0 +1,552 @@
+#include "wire/update_codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "wire/accounting.hpp"
+#include "wire/reader.hpp"
+#include "wire/writer.hpp"
+
+namespace fedbiad::wire {
+
+namespace {
+
+void check_position_bits(std::size_t position_bits) {
+  FEDBIAD_CHECK(position_bits == 16 || position_bits == 32 ||
+                    position_bits == 64,
+                "position width must be 16, 32, or 64 bits");
+}
+
+/// Candidate iteration shared by the dense-over-candidates kinds: calls
+/// `fn(i)` for every candidate coordinate in ascending order.
+template <typename Fn>
+void for_each_candidate(std::size_t n, const Bitset* candidates, Fn&& fn) {
+  if (candidates == nullptr) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (candidates->test(i)) fn(i);
+  }
+}
+
+std::size_t candidate_total(std::size_t n, const Bitset* candidates) {
+  return candidates == nullptr ? n : candidates->count();
+}
+
+}  // namespace
+
+const char* to_string(PayloadKind kind) noexcept {
+  switch (kind) {
+    case PayloadKind::kDenseF32:
+      return "dense-f32";
+    case PayloadKind::kRowMasked:
+      return "row-masked";
+    case PayloadKind::kSparseFixed:
+      return "sparse-fixed";
+    case PayloadKind::kSparseVarint:
+      return "sparse-varint";
+    case PayloadKind::kTernary:
+      return "ternary";
+    case PayloadKind::kSignMean:
+      return "sign-mean";
+    case PayloadKind::kInt8Dense:
+      return "int8-dense";
+    case PayloadKind::kPrunedBitmap:
+      return "pruned-bitmap";
+    case PayloadKind::kPrunedVarint:
+      return "pruned-varint";
+    case PayloadKind::kSubModel:
+      return "sub-model";
+  }
+  return "?";
+}
+
+Payload encode_dense_f32(std::span<const float> values) {
+  Writer w;
+  w.f32_run(values);
+  Payload p{.kind = PayloadKind::kDenseF32, .bytes = std::move(w).take()};
+  FEDBIAD_DCHECK(p.size() == dense_f32_bytes(values.size()),
+                 "dense encoding size drifted from accounting");
+  return p;
+}
+
+Payload encode_row_masked(const nn::ParameterStore& layout,
+                          std::span<const std::uint8_t> row_kept,
+                          std::span<const float> values) {
+  const std::size_t rows = layout.droppable_rows();
+  FEDBIAD_CHECK(row_kept.size() == rows, "row mask / layout mismatch");
+  FEDBIAD_CHECK(values.size() == layout.size(), "values / layout mismatch");
+  Writer w;
+  // Bitset::packed_bytes IS the wire form, so the packing convention lives
+  // in exactly one place (its from_packed is what the decoder uses).
+  w.bytes(Bitset::from_bytemask(row_kept).packed_bytes());
+  std::uint64_t kept_weights = 0;
+  for (std::size_t g = 0; g < layout.groups().size(); ++g) {
+    const nn::RowGroup& grp = layout.group(g);
+    if (!grp.droppable) {
+      w.f32_run(values.subspan(grp.offset, grp.size()));
+      kept_weights += grp.size();
+      continue;
+    }
+    for (std::size_t r = 0; r < grp.rows; ++r) {
+      if (row_kept[layout.droppable_index(g, r)] == 0) continue;
+      w.f32_run(values.subspan(grp.offset + r * grp.row_len, grp.row_len));
+      kept_weights += grp.row_len;
+    }
+  }
+  Payload p{.kind = PayloadKind::kRowMasked, .bytes = std::move(w).take()};
+  FEDBIAD_DCHECK(p.size() == row_masked_bytes(kept_weights, rows),
+                 "row-masked encoding size drifted from accounting");
+  return p;
+}
+
+Payload encode_sparse_fixed(std::span<const std::uint32_t> indices,
+                            std::span<const float> values,
+                            std::size_t position_bits) {
+  check_position_bits(position_bits);
+  FEDBIAD_CHECK(indices.size() == values.size(),
+                "sparse index/value length mismatch");
+  // Indices arrive sorted ascending (decode enforces it), so the last one
+  // bounds them all: a position that does not fit the configured width would
+  // silently wrap on the wire.
+  FEDBIAD_CHECK(indices.empty() || position_bits >= 64 ||
+                    indices.back() < (std::uint64_t{1} << position_bits),
+                "sparse index exceeds the configured position width");
+  Writer w;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    FEDBIAD_CHECK(i == 0 || indices[i] > indices[i - 1],
+                  "sparse indices must be increasing");
+    switch (position_bits) {
+      case 16:
+        w.u16(static_cast<std::uint16_t>(indices[i]));
+        break;
+      case 32:
+        w.u32(indices[i]);
+        break;
+      default:
+        w.u64(indices[i]);
+        break;
+    }
+    w.f32(values[i]);
+  }
+  Payload p{.kind = PayloadKind::kSparseFixed,
+            .aux = static_cast<std::uint8_t>(position_bits),
+            .bytes = std::move(w).take()};
+  FEDBIAD_DCHECK(p.size() == sparse_fixed_bytes(indices.size(), position_bits),
+                 "sparse-fixed encoding size drifted from accounting");
+  return p;
+}
+
+Payload encode_sparse_varint(std::span<const std::uint32_t> indices,
+                             std::span<const float> values) {
+  FEDBIAD_CHECK(indices.size() == values.size(),
+                "sparse index/value length mismatch");
+  Writer w;
+  w.varint(indices.size());
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::uint64_t idx = indices[i];
+    FEDBIAD_CHECK(i == 0 || idx > prev, "sparse indices must be increasing");
+    w.varint(i == 0 ? idx : idx - prev - 1);
+    prev = idx;
+  }
+  w.f32_run(values);
+  Payload p{.kind = PayloadKind::kSparseVarint, .bytes = std::move(w).take()};
+  FEDBIAD_DCHECK(p.size() == sparse_varint_bytes(indices),
+                 "sparse-varint encoding size drifted from accounting");
+  return p;
+}
+
+Payload encode_ternary(float mu, std::span<const std::uint32_t> indices,
+                       std::span<const std::uint8_t> negative,
+                       std::size_t position_bits) {
+  check_position_bits(position_bits);
+  FEDBIAD_CHECK(indices.size() == negative.size(),
+                "ternary index/sign length mismatch");
+  FEDBIAD_CHECK(indices.empty() || position_bits >= 64 ||
+                    indices.back() < (std::uint64_t{1} << position_bits),
+                "ternary index exceeds the configured position width");
+  Payload p{.kind = PayloadKind::kTernary,
+            .aux = static_cast<std::uint8_t>(position_bits),
+            .bytes = {}};
+  if (!indices.empty()) {
+    Writer w;
+    w.f32(mu);
+    {
+      BitWriter bw(w);
+      for (std::size_t i = 0; i < indices.size(); ++i) {
+        FEDBIAD_CHECK(i == 0 || indices[i] > indices[i - 1],
+                      "ternary indices must be increasing");
+        bw.bits(indices[i], static_cast<unsigned>(position_bits));
+        bw.bit(negative[i] != 0);
+      }
+    }
+    p.bytes = std::move(w).take();
+  }
+  FEDBIAD_DCHECK(p.size() == ternary_bytes(indices.size(), position_bits),
+                 "ternary encoding size drifted from accounting");
+  return p;
+}
+
+Payload encode_sign_mean(float scale, std::span<const std::uint8_t> mask,
+                         std::span<const float> values) {
+  FEDBIAD_CHECK(mask.empty() || mask.size() == values.size(),
+                "candidate mask / values mismatch");
+  Writer w;
+  w.f32(scale);
+  std::uint64_t count = 0;
+  {
+    BitWriter bw(w);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (!mask.empty() && mask[i] == 0) continue;
+      bw.bit(std::signbit(values[i]));
+      ++count;
+    }
+  }
+  Payload p{.kind = PayloadKind::kSignMean, .bytes = std::move(w).take()};
+  FEDBIAD_DCHECK(p.size() == sign_mean_bytes(count),
+                 "sign-mean encoding size drifted from accounting");
+  return p;
+}
+
+Payload encode_int8_dense(float scale, std::span<const std::int8_t> quants,
+                          std::size_t candidates) {
+  FEDBIAD_CHECK(quants.size() == candidates,
+                "quant run must cover every candidate");
+  Writer w;
+  w.f32(scale);
+  for (const std::int8_t q : quants) {
+    w.u8(static_cast<std::uint8_t>(q));
+  }
+  Payload p{.kind = PayloadKind::kInt8Dense, .bytes = std::move(w).take()};
+  FEDBIAD_DCHECK(p.size() == int8_dense_bytes(candidates),
+                 "int8 encoding size drifted from accounting");
+  return p;
+}
+
+Payload encode_pruned(const nn::ParameterStore& layout,
+                      std::span<const std::uint8_t> coord_mask,
+                      std::span<const float> values) {
+  const std::size_t n = layout.size();
+  FEDBIAD_CHECK(coord_mask.size() == n && values.size() == n,
+                "mask / values / layout mismatch");
+  // Walk droppable groups in layout order, collecting the kept coordinates'
+  // prunable-space indices and values; fixed (non-droppable) groups are
+  // always transmitted dense.
+  std::vector<std::uint32_t> kept_idx;
+  std::vector<float> kept_val;
+  std::uint64_t prunable = 0;
+  std::uint64_t fixed = 0;
+  for (const nn::RowGroup& grp : layout.groups()) {
+    if (!grp.droppable) {
+      fixed += grp.size();
+      continue;
+    }
+    for (std::size_t i = grp.offset; i < grp.offset + grp.size(); ++i) {
+      if (coord_mask[i] != 0) {
+        kept_idx.push_back(static_cast<std::uint32_t>(prunable));
+        kept_val.push_back(values[i]);
+      }
+      ++prunable;
+    }
+  }
+  const std::uint64_t bitmap_size =
+      pruned_bitmap_bytes(prunable, kept_idx.size(), fixed);
+  const std::uint64_t varint_size =
+      delta_varint_index_bytes(std::span<const std::uint32_t>(kept_idx)) +
+      dense_f32_bytes(kept_idx.size() + fixed);
+  Writer w;
+  PayloadKind kind;
+  if (bitmap_size <= varint_size) {
+    kind = PayloadKind::kPrunedBitmap;
+    Bitset occupancy(static_cast<std::size_t>(prunable));
+    for (const std::uint32_t idx : kept_idx) occupancy.set(idx);
+    w.bytes(occupancy.packed_bytes());
+    w.f32_run(kept_val);
+  } else {
+    kind = PayloadKind::kPrunedVarint;
+    w.varint(kept_idx.size());
+    std::uint64_t prev = 0;
+    for (std::size_t i = 0; i < kept_idx.size(); ++i) {
+      w.varint(i == 0 ? kept_idx[i] : kept_idx[i] - prev - 1);
+      prev = kept_idx[i];
+    }
+    w.f32_run(kept_val);
+  }
+  for (const nn::RowGroup& grp : layout.groups()) {
+    if (grp.droppable) continue;
+    w.f32_run(values.subspan(grp.offset, grp.size()));
+  }
+  Payload p{.kind = kind, .bytes = std::move(w).take()};
+  FEDBIAD_DCHECK(p.size() == std::min(bitmap_size, varint_size),
+                 "pruned encoding size drifted from accounting");
+  return p;
+}
+
+Bitset expand_row_mask(const nn::ParameterStore& layout,
+                       std::span<const std::uint8_t> packed) {
+  const std::size_t rows = layout.droppable_rows();
+  const Bitset row_bits = Bitset::from_packed(packed, rows);
+  Bitset present(layout.size());
+  for (std::size_t g = 0; g < layout.groups().size(); ++g) {
+    const nn::RowGroup& grp = layout.group(g);
+    if (!grp.droppable) {
+      present.set_range(grp.offset, grp.offset + grp.size());
+      continue;
+    }
+    for (std::size_t r = 0; r < grp.rows; ++r) {
+      if (!row_bits.test(layout.droppable_index(g, r))) continue;
+      const std::size_t begin = grp.offset + r * grp.row_len;
+      present.set_range(begin, begin + grp.row_len);
+    }
+  }
+  return present;
+}
+
+namespace {
+
+Decoded decode_dense(const nn::ParameterStore& layout, Reader& r) {
+  Decoded d;
+  d.values.resize(layout.size());
+  if (r.remaining() != dense_f32_bytes(layout.size())) {
+    throw DecodeError("dense payload length mismatch");
+  }
+  r.f32_run(d.values);
+  d.present.assign(layout.size(), true);
+  return d;
+}
+
+Decoded decode_row_masked(const nn::ParameterStore& layout, Reader& r) {
+  const std::size_t rows = layout.droppable_rows();
+  const auto packed = r.bytes(packed_bits_bytes(rows));
+  const Bitset row_bits = Bitset::from_packed(packed, rows);
+  Decoded d;
+  d.values.assign(layout.size(), 0.0F);
+  d.present = Bitset(layout.size());
+  for (std::size_t g = 0; g < layout.groups().size(); ++g) {
+    const nn::RowGroup& grp = layout.group(g);
+    if (!grp.droppable) {
+      r.f32_run(std::span(d.values).subspan(grp.offset, grp.size()));
+      d.present.set_range(grp.offset, grp.offset + grp.size());
+      continue;
+    }
+    for (std::size_t row = 0; row < grp.rows; ++row) {
+      if (!row_bits.test(layout.droppable_index(g, row))) continue;
+      const std::size_t begin = grp.offset + row * grp.row_len;
+      r.f32_run(std::span(d.values).subspan(begin, grp.row_len));
+      d.present.set_range(begin, begin + grp.row_len);
+    }
+  }
+  r.expect_done();
+  return d;
+}
+
+Decoded decode_sparse_fixed(const nn::ParameterStore& layout, Reader& r,
+                            std::size_t position_bits) {
+  const std::size_t entry = 4 + position_bits / 8;
+  if (r.remaining() % entry != 0) {
+    throw DecodeError("sparse payload is not a whole number of entries");
+  }
+  const std::size_t k = r.remaining() / entry;
+  Decoded d;
+  d.values.assign(layout.size(), 0.0F);
+  d.present = Bitset(layout.size());
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::uint64_t idx = 0;
+    switch (position_bits) {
+      case 16:
+        idx = r.u16();
+        break;
+      case 32:
+        idx = r.u32();
+        break;
+      default:
+        idx = r.u64();
+        break;
+    }
+    if (idx >= layout.size()) throw DecodeError("sparse index out of range");
+    if (i > 0 && idx <= prev) throw DecodeError("sparse indices not sorted");
+    prev = idx;
+    d.values[idx] = r.f32();
+    d.present.set(idx);
+  }
+  r.expect_done();
+  return d;
+}
+
+Decoded decode_sparse_varint(const nn::ParameterStore& layout, Reader& r) {
+  const std::uint64_t k = r.varint();
+  if (k > layout.size()) throw DecodeError("sparse entry count exceeds model");
+  std::vector<std::uint32_t> indices(k);
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    const std::uint64_t gap = r.varint();
+    const std::uint64_t idx = i == 0 ? gap : prev + gap + 1;
+    if (idx >= layout.size()) throw DecodeError("sparse index out of range");
+    indices[i] = static_cast<std::uint32_t>(idx);
+    prev = idx;
+  }
+  Decoded d;
+  d.values.assign(layout.size(), 0.0F);
+  d.present = Bitset(layout.size());
+  for (std::uint64_t i = 0; i < k; ++i) {
+    d.values[indices[i]] = r.f32();
+    d.present.set(indices[i]);
+  }
+  r.expect_done();
+  return d;
+}
+
+Decoded decode_ternary(const nn::ParameterStore& layout, Reader& r,
+                       std::size_t position_bits) {
+  Decoded d;
+  d.values.assign(layout.size(), 0.0F);
+  d.present = Bitset(layout.size());
+  if (r.remaining() == 0) return d;  // empty selection transmits nothing
+  const std::size_t body = r.remaining();
+  if (body < 4) throw DecodeError("ternary payload shorter than its μ");
+  const std::uint64_t payload_bits = (body - 4) * 8;
+  const std::uint64_t k = payload_bits / (position_bits + 1);
+  if (k == 0 || ternary_bytes(k, position_bits) != body) {
+    throw DecodeError("ternary payload length mismatch");
+  }
+  const float mu = r.f32();
+  BitReader bits(r);
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    const std::uint64_t idx = bits.bits(static_cast<unsigned>(position_bits));
+    if (idx >= layout.size()) throw DecodeError("ternary index out of range");
+    if (i > 0 && idx <= prev) throw DecodeError("ternary indices not sorted");
+    prev = idx;
+    const bool negative = bits.bit();
+    d.values[idx] = negative ? -mu : mu;
+    d.present.set(idx);
+  }
+  bits.expect_padding_zero();
+  r.expect_done();
+  return d;
+}
+
+Decoded decode_sign_mean(const nn::ParameterStore& layout, Reader& r,
+                         const Bitset* candidates) {
+  const std::size_t count = candidate_total(layout.size(), candidates);
+  if (r.remaining() != sign_mean_bytes(count)) {
+    throw DecodeError("sign payload length mismatch");
+  }
+  const float scale = r.f32();
+  Decoded d;
+  d.values.assign(layout.size(), 0.0F);
+  d.present = Bitset(layout.size());
+  BitReader bits(r);
+  for_each_candidate(layout.size(), candidates, [&](std::size_t i) {
+    d.values[i] = bits.bit() ? -scale : scale;
+    d.present.set(i);
+  });
+  bits.expect_padding_zero();
+  r.expect_done();
+  return d;
+}
+
+Decoded decode_int8_dense(const nn::ParameterStore& layout, Reader& r,
+                          const Bitset* candidates) {
+  const std::size_t count = candidate_total(layout.size(), candidates);
+  if (r.remaining() != int8_dense_bytes(count)) {
+    throw DecodeError("int8 payload length mismatch");
+  }
+  const float scale = r.f32();
+  Decoded d;
+  d.values.assign(layout.size(), 0.0F);
+  d.present = Bitset(layout.size());
+  for_each_candidate(layout.size(), candidates, [&](std::size_t i) {
+    const auto q = static_cast<std::int8_t>(r.u8());
+    // Same expression the quantizer used client-side, so the dequantized
+    // float is bit-identical to what it trained with.
+    d.values[i] = static_cast<float>(q) * scale;
+    d.present.set(i);
+  });
+  r.expect_done();
+  return d;
+}
+
+Decoded decode_pruned(const nn::ParameterStore& layout, Reader& r,
+                      bool bitmap_variant) {
+  std::uint64_t prunable = 0;
+  for (const nn::RowGroup& grp : layout.groups()) {
+    if (grp.droppable) prunable += grp.size();
+  }
+  Bitset kept(static_cast<std::size_t>(prunable));
+  if (bitmap_variant) {
+    kept = Bitset::from_packed(r.bytes(packed_bits_bytes(prunable)),
+                               static_cast<std::size_t>(prunable));
+  } else {
+    const std::uint64_t k = r.varint();
+    if (k > prunable) throw DecodeError("pruned entry count exceeds model");
+    std::uint64_t prev = 0;
+    for (std::uint64_t i = 0; i < k; ++i) {
+      const std::uint64_t gap = r.varint();
+      const std::uint64_t idx = i == 0 ? gap : prev + gap + 1;
+      if (idx >= prunable) throw DecodeError("pruned index out of range");
+      kept.set(static_cast<std::size_t>(idx));
+      prev = idx;
+    }
+  }
+  Decoded d;
+  d.values.assign(layout.size(), 0.0F);
+  d.present = Bitset(layout.size());
+  std::size_t p = 0;
+  for (const nn::RowGroup& grp : layout.groups()) {
+    if (!grp.droppable) continue;
+    for (std::size_t i = grp.offset; i < grp.offset + grp.size(); ++i, ++p) {
+      if (!kept.test(p)) continue;
+      d.values[i] = r.f32();
+      d.present.set(i);
+    }
+  }
+  for (const nn::RowGroup& grp : layout.groups()) {
+    if (grp.droppable) continue;
+    r.f32_run(std::span(d.values).subspan(grp.offset, grp.size()));
+    d.present.set_range(grp.offset, grp.offset + grp.size());
+  }
+  r.expect_done();
+  return d;
+}
+
+}  // namespace
+
+Decoded decode_update(const nn::ParameterStore& layout, const Payload& payload,
+                      const Bitset* candidates) {
+  Reader r(payload.bytes);
+  const std::size_t position_bits = payload.aux == 0 ? 64 : payload.aux;
+  switch (payload.kind) {
+    case PayloadKind::kDenseF32:
+      return decode_dense(layout, r);
+    case PayloadKind::kRowMasked:
+      return decode_row_masked(layout, r);
+    case PayloadKind::kSparseFixed:
+      check_position_bits(position_bits);
+      return decode_sparse_fixed(layout, r, position_bits);
+    case PayloadKind::kSparseVarint:
+      return decode_sparse_varint(layout, r);
+    case PayloadKind::kTernary:
+      check_position_bits(position_bits);
+      return decode_ternary(layout, r, position_bits);
+    case PayloadKind::kSignMean:
+      return decode_sign_mean(layout, r, candidates);
+    case PayloadKind::kInt8Dense:
+      return decode_int8_dense(layout, r, candidates);
+    case PayloadKind::kPrunedBitmap:
+      return decode_pruned(layout, r, true);
+    case PayloadKind::kPrunedVarint:
+      return decode_pruned(layout, r, false);
+    case PayloadKind::kSubModel:
+      break;  // needs the strategy's WidthPlan; fall through to the error
+  }
+  throw DecodeError(std::string("payload kind ") + to_string(payload.kind) +
+                    " has no layout-generic decoder");
+}
+
+}  // namespace fedbiad::wire

@@ -23,6 +23,15 @@
 namespace fedbiad::baselines {
 namespace {
 
+/// Runs one client and then performs the server-side decode step exactly as
+/// the engines do on upload arrival, so tests can inspect the dense view.
+template <typename Strat>
+fl::ClientOutcome run_decoded(Strat& strat, fl::ClientContext& ctx) {
+  auto out = strat.run_client(ctx);
+  fl::decode_outcome(strat, ctx.model.store(), out);
+  return out;
+}
+
 struct ImageHarness {
   explicit ImageHarness(std::uint64_t seed = 5) {
     auto cfg = data::ImageSynthConfig::mnist_like(seed);
@@ -105,7 +114,7 @@ TEST(FedAvg, UploadsFullDenseModel) {
   ImageHarness h;
   FedAvgStrategy strat;
   auto ctx = h.context(0, 1);
-  const auto out = strat.run_client(ctx);
+  const auto out = run_decoded(strat, ctx);
   EXPECT_EQ(out.uplink_bytes, h.model->store().size() * 4);
   EXPECT_TRUE(std::all_of(out.present.begin(), out.present.end(),
                           [](std::uint8_t p) { return p == 1; }));
@@ -116,7 +125,7 @@ TEST(FedAvg, TrainingChangesParameters) {
   ImageHarness h;
   FedAvgStrategy strat;
   auto ctx = h.context(0, 1);
-  const auto out = strat.run_client(ctx);
+  const auto out = run_decoded(strat, ctx);
   double delta = 0.0;
   for (std::size_t i = 0; i < out.values.size(); ++i) {
     delta += std::abs(out.values[i] - h.global[i]);
@@ -133,7 +142,7 @@ TEST(FedDrop, DropsFcRowsOnMlp) {
   ImageHarness h;
   FedDropStrategy strat(0.5);
   auto ctx = h.context(0, 1);
-  const auto out = strat.run_client(ctx);
+  const auto out = run_decoded(strat, ctx);
   const double dense =
       static_cast<double>(core::dense_model_bytes(h.model->store()));
   EXPECT_NEAR(static_cast<double>(out.uplink_bytes) / dense, 0.5, 0.05);
@@ -143,7 +152,7 @@ TEST(FedDrop, NeverDropsRecurrentRowsOnLstm) {
   TextHarness h;
   FedDropStrategy strat(0.5);
   auto ctx = h.context(0, 1);
-  const auto out = strat.run_client(ctx);
+  const auto out = run_decoded(strat, ctx);
   const auto& store = h.model->store();
   // Every recurrent coordinate must be present.
   for (const auto& grp : store.groups()) {
@@ -163,9 +172,9 @@ TEST(FedDrop, DifferentClientsGetDifferentPatterns) {
   ImageHarness h;
   FedDropStrategy strat(0.5);
   auto ctx0 = h.context(0, 1);
-  const auto out0 = strat.run_client(ctx0);
+  const auto out0 = run_decoded(strat, ctx0);
   auto ctx1 = h.context(1, 1);
-  const auto out1 = strat.run_client(ctx1);
+  const auto out1 = run_decoded(strat, ctx1);
   EXPECT_NE(out0.present, out1.present);
 }
 
@@ -174,9 +183,9 @@ TEST(Afd, AllClientsShareTheRoundPattern) {
   AfdStrategy strat(0.5);
   strat.begin_round(1, h.global);
   auto ctx0 = h.context(0, 1);
-  const auto out0 = strat.run_client(ctx0);
+  const auto out0 = run_decoded(strat, ctx0);
   auto ctx1 = h.context(1, 1);
-  const auto out1 = strat.run_client(ctx1);
+  const auto out1 = run_decoded(strat, ctx1);
   EXPECT_EQ(out0.present, out1.present);
 }
 
@@ -213,7 +222,7 @@ TEST(Afd, SecondRoundDropsLowScoredRows) {
   strat.end_round(1, h.global, new_global);
   strat.begin_round(2, h.global);
   auto ctx2 = h.context(1, 2);
-  const auto out = strat.run_client(ctx2);
+  const auto out = run_decoded(strat, ctx2);
   // Active rows must be kept.
   for (std::size_t r = 0; r < fc1.rows / 2; ++r) {
     ASSERT_EQ(out.present[fc1.offset + r * fc1.row_len], 1)
@@ -225,7 +234,7 @@ TEST(FedMp, PrunesSmallestMagnitudes) {
   ImageHarness h;
   FedMpStrategy strat(0.5);
   auto ctx = h.context(0, 1);
-  const auto out = strat.run_client(ctx);
+  const auto out = run_decoded(strat, ctx);
   const std::size_t absent = static_cast<std::size_t>(
       std::count(out.present.begin(), out.present.end(), std::uint8_t{0}));
   EXPECT_NEAR(static_cast<double>(absent) /
@@ -250,7 +259,7 @@ TEST(FedMp, ZeroRateKeepsEverything) {
   ImageHarness h;
   FedMpStrategy strat(0.0);
   auto ctx = h.context(0, 1);
-  const auto out = strat.run_client(ctx);
+  const auto out = run_decoded(strat, ctx);
   EXPECT_TRUE(std::all_of(out.present.begin(), out.present.end(),
                           [](std::uint8_t p) { return p == 1; }));
 }
@@ -259,7 +268,7 @@ TEST(FedMp, UploadAccountsPositions) {
   ImageHarness h;
   FedMpStrategy strat(0.5);
   auto ctx = h.context(0, 1);
-  const auto out = strat.run_client(ctx);
+  const auto out = run_decoded(strat, ctx);
   const std::size_t n = h.model->store().size();
   // ≈ half the values at 4 bytes plus the 1-bit occupancy bitmap (cheaper
   // than 16-bit positions at this rate).
@@ -352,7 +361,7 @@ TEST(Fjord, UploadsOnlySubmodel) {
   FjordStrategy strat(plan, 0.5);
   EXPECT_DOUBLE_EQ(strat.width_ratio(), 0.5);
   auto ctx = h.context(0, 1);
-  const auto out = strat.run_client(ctx);
+  const auto out = run_decoded(strat, ctx);
   EXPECT_EQ(out.uplink_bytes, plan.submodel_bytes(h.model->store(), 0.5));
   // Cut coordinates are absent and zero-valued.
   for (std::size_t i = 0; i < out.present.size(); ++i) {
@@ -366,9 +375,9 @@ TEST(Fjord, SamePatternForAllClients) {
   ImageHarness h;
   FjordStrategy strat(WidthPlan::for_mlp(*h.model), 0.5);
   auto ctx0 = h.context(0, 1);
-  const auto out0 = strat.run_client(ctx0);
+  const auto out0 = run_decoded(strat, ctx0);
   auto ctx1 = h.context(5, 1);
-  const auto out1 = strat.run_client(ctx1);
+  const auto out1 = run_decoded(strat, ctx1);
   EXPECT_EQ(out0.present, out1.present);  // ordered dropout is deterministic
 }
 
@@ -377,9 +386,9 @@ TEST(HeteroFl, LevelsAssignByClientId) {
   const auto plan = WidthPlan::for_mlp(*h.model);
   HeteroFlStrategy strat(plan, {1.0, 0.5});
   auto ctx0 = h.context(0, 1);  // level 1.0
-  const auto out0 = strat.run_client(ctx0);
+  const auto out0 = run_decoded(strat, ctx0);
   auto ctx1 = h.context(1, 1);  // level 0.5
-  const auto out1 = strat.run_client(ctx1);
+  const auto out1 = run_decoded(strat, ctx1);
   EXPECT_GT(out0.uplink_bytes, out1.uplink_bytes);
   // Full-width client transmits everything.
   EXPECT_TRUE(std::all_of(out0.present.begin(), out0.present.end(),

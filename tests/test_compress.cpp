@@ -12,7 +12,9 @@
 #include "compress/quantize.hpp"
 #include "compress/stc.hpp"
 #include "compress/topk.hpp"
+#include "nn/parameter_store.hpp"
 #include "tensor/rng.hpp"
+#include "wire/accounting.hpp"
 
 namespace fedbiad::compress {
 namespace {
@@ -72,10 +74,13 @@ TEST(FedPaq, WireBytesAreOneBytePerCandidate) {
   const auto u = random_update(500, 5);
   FedPaqCompressor comp;
   CompressorState state;
-  EXPECT_EQ(comp.compress(u, {}, state).wire_bytes, 500u + 4);
+  EXPECT_EQ(comp.compress(u, {}, state).wire_bytes(),
+            wire::int8_dense_bytes(500));
+  EXPECT_EQ(wire::int8_dense_bytes(500), 500u + 4);
   std::vector<std::uint8_t> present(500, 1);
   for (std::size_t i = 0; i < 100; ++i) present[i] = 0;
-  EXPECT_EQ(comp.compress(u, present, state).wire_bytes, 400u + 4);
+  EXPECT_EQ(comp.compress(u, present, state).wire_bytes(),
+            wire::int8_dense_bytes(400));
 }
 
 TEST(FedPaq, MaskedCoordinatesStayZero) {
@@ -98,7 +103,8 @@ TEST(SignSgd, TransmitsSignsTimesMeanMagnitude) {
   EXPECT_FLOAT_EQ(sparse.values[1], -scale);
   EXPECT_FLOAT_EQ(sparse.values[2], scale);
   EXPECT_FLOAT_EQ(sparse.values[3], -scale);
-  EXPECT_EQ(sparse.wire_bytes, 4u / 8 + 4 + (4 % 8 ? 1 : 0));
+  EXPECT_EQ(sparse.wire_bytes(), wire::sign_mean_bytes(4));
+  EXPECT_EQ(wire::sign_mean_bytes(4), 4u / 8 + 4 + (4 % 8 ? 1 : 0));
 }
 
 TEST(SignSgd, ThirtyTwoFoldCompression) {
@@ -107,7 +113,7 @@ TEST(SignSgd, ThirtyTwoFoldCompression) {
   CompressorState state;
   const auto sparse = comp.compress(u, {}, state);
   const double dense_bytes = 3200.0 * 4;
-  EXPECT_NEAR(dense_bytes / static_cast<double>(sparse.wire_bytes), 32.0,
+  EXPECT_NEAR(dense_bytes / static_cast<double>(sparse.wire_bytes()), 32.0,
               1.0);
 }
 
@@ -117,7 +123,8 @@ TEST(Dgc, SelectsConfiguredSparsity) {
   CompressorState state;
   const auto sparse = comp.compress(u, {}, state);
   EXPECT_EQ(sparse.indices.size(), 100u);
-  EXPECT_EQ(sparse.wire_bytes, 100u * (4 + 8));
+  EXPECT_EQ(sparse.wire_bytes(), wire::sparse_fixed_bytes(100, 64));
+  EXPECT_EQ(wire::sparse_fixed_bytes(100, 64), 100u * (4 + 8));
 }
 
 TEST(Dgc, ResidualAccumulationLosesNothing) {
@@ -214,7 +221,8 @@ TEST(Stc, WireBytesUseSixtyFiveBitsPerValue) {
   CompressorState state;
   const auto sparse = comp.compress(u, {}, state);
   ASSERT_EQ(sparse.indices.size(), 80u);
-  EXPECT_EQ(sparse.wire_bytes, (80u * 65 + 7) / 8 + 4);
+  EXPECT_EQ(sparse.wire_bytes(), wire::ternary_bytes(80, 64));
+  EXPECT_EQ(wire::ternary_bytes(80, 64), (80u * 65 + 7) / 8 + 4);
 }
 
 TEST(SparseUpdate, MaterializeSparse) {
@@ -251,11 +259,78 @@ TEST_P(SparsitySweep, DgcWireSizeScalesLinearly) {
   const auto expected_k = static_cast<std::size_t>(
       std::llround(q * 20000.0));
   EXPECT_EQ(sparse.indices.size(), std::max<std::size_t>(1, expected_k));
-  EXPECT_EQ(sparse.wire_bytes, sparse.indices.size() * 12);
+  EXPECT_EQ(sparse.wire_bytes(), sparse.indices.size() * 12);
 }
 
 INSTANTIATE_TEST_SUITE_P(Rates, SparsitySweep,
                          ::testing::Values(0.0001, 0.001, 0.01, 0.1));
+
+// --- wire cross-checks: the server-side decoder must reconstruct exactly
+// what materialize() (the in-memory reference) produces, and the measured
+// payload must match the analytic accounting for every compressor ---
+
+nn::ParameterStore flat_layout(std::size_t n) {
+  nn::ParameterStore store;
+  store.add_group("w", nn::GroupKind::kDense, n, 1, true);
+  store.finalize();
+  return store;
+}
+
+TEST(WireCrossCheck, DecodeMatchesMaterializeForEveryCompressor) {
+  const std::size_t n = 600;
+  const auto layout = flat_layout(n);
+  const auto u = random_update(n, 37);
+  const std::vector<std::shared_ptr<UpdateCompressor>> compressors{
+      std::make_shared<DgcCompressor>(DgcConfig{.sparsity = 0.05}),
+      std::make_shared<StcCompressor>(StcConfig{.sparsity = 0.05}),
+      std::make_shared<FedPaqCompressor>(),
+      std::make_shared<SignSgdCompressor>(),
+  };
+  for (const auto& comp : compressors) {
+    CompressorState state;
+    const SparseUpdate sparse = comp->compress(u, {}, state);
+    std::vector<float> ref(n);
+    std::vector<std::uint8_t> ref_mask(n);
+    sparse.materialize(ref, ref_mask);
+    const wire::Decoded dec = wire::decode_update(layout, sparse.payload);
+    ASSERT_EQ(dec.values.size(), n) << comp->name();
+    EXPECT_EQ(dec.present, wire::Bitset::from_bytemask(ref_mask))
+        << comp->name();
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(dec.values[i], ref[i])
+          << comp->name() << " coordinate " << i;
+    }
+  }
+}
+
+TEST(WireCrossCheck, MeasuredBytesMatchOracleForEveryCompressor) {
+  const std::size_t n = 1000;
+  const auto u = random_update(n, 41);
+  CompressorState state;
+  {
+    DgcCompressor dgc({.sparsity = 0.01, .momentum = 0.0});
+    const auto s = dgc.compress(u, {}, state);
+    EXPECT_EQ(s.payload.size(), wire::sparse_fixed_bytes(s.indices.size(), 64));
+  }
+  {
+    CompressorState st;
+    StcCompressor stc({.sparsity = 0.01});
+    const auto s = stc.compress(u, {}, st);
+    EXPECT_EQ(s.payload.size(), wire::ternary_bytes(s.indices.size(), 64));
+  }
+  {
+    CompressorState st;
+    FedPaqCompressor paq;
+    EXPECT_EQ(paq.compress(u, {}, st).payload.size(),
+              wire::int8_dense_bytes(n));
+  }
+  {
+    CompressorState st;
+    SignSgdCompressor sgn;
+    EXPECT_EQ(sgn.compress(u, {}, st).payload.size(),
+              wire::sign_mean_bytes(n));
+  }
+}
 
 }  // namespace
 }  // namespace fedbiad::compress

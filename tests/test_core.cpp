@@ -18,6 +18,15 @@
 namespace fedbiad::core {
 namespace {
 
+/// Runs one client and then performs the server-side decode step exactly as
+/// the engines do on upload arrival, so tests can inspect the dense view.
+template <typename Strat>
+fl::ClientOutcome run_decoded(Strat& strat, fl::ClientContext& ctx) {
+  auto out = strat.run_client(ctx);
+  fl::decode_outcome(strat, ctx.model.store(), out);
+  return out;
+}
+
 nn::ParameterStore make_store() {
   nn::ParameterStore store;
   store.add_group("fc1", nn::GroupKind::kDense, 8, 5, true);
@@ -340,7 +349,7 @@ TEST(FedBiadStrategy, UploadIsRoughlyOneMinusPOfDense) {
   FedBiadStrategy strat({.dropout_rate = 0.5, .tau = 3, .stage_boundary = 5,
                          .sample_posterior = false});
   auto ctx = h.context(0, 1);
-  const auto out = strat.run_client(ctx);
+  const auto out = run_decoded(strat, ctx);
   const double dense = static_cast<double>(
       dense_model_bytes(h.model->store()));
   EXPECT_NEAR(static_cast<double>(out.uplink_bytes) / dense, 0.5, 0.05);
@@ -353,7 +362,7 @@ TEST(FedBiadStrategy, PresenceMatchesDroppedRows) {
   FedBiadStrategy strat({.dropout_rate = 0.5, .tau = 3, .stage_boundary = 5,
                          .sample_posterior = false});
   auto ctx = h.context(1, 1);
-  const auto out = strat.run_client(ctx);
+  const auto out = run_decoded(strat, ctx);
   std::size_t absent = 0;
   for (const auto p : out.present) absent += p == 0 ? 1 : 0;
   EXPECT_GT(absent, 0u);
@@ -398,11 +407,11 @@ TEST(FedBiadStrategy, StageTwoUsesScorePattern) {
   // consecutive stage-two rounds with identical scores produce identical
   // presence masks (no random resampling anymore).
   auto ctx3 = h.context(3, 3);
-  const auto out3 = strat.run_client(ctx3);
+  const auto out3 = run_decoded(strat, ctx3);
   auto cfg = strat.config();
   ASSERT_GT(ctx3.round, cfg.stage_boundary);
   auto ctx4 = h.context(3, 4);
-  const auto out4 = strat.run_client(ctx4);
+  const auto out4 = run_decoded(strat, ctx4);
   // Stage-two score updates can perturb ranking only via held rows, whose
   // scores all rise equally, so the chosen pattern is stable.
   EXPECT_EQ(out3.present, out4.present);
@@ -434,7 +443,7 @@ TEST(FedBiadStrategy, TrainingLossDecreasesLocally) {
   FedBiadStrategy strat({.dropout_rate = 0.3, .tau = 3, .stage_boundary = 50,
                          .sample_posterior = false});
   auto ctx = h.context(0, 1);
-  const auto out = strat.run_client(ctx);
+  const auto out = run_decoded(strat, ctx);
   EXPECT_LT(out.last_loss, out.mean_loss * 1.25);
 }
 

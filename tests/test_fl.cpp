@@ -25,7 +25,7 @@ ClientOutcome make_outcome(std::vector<float> values,
                            std::size_t samples, bool is_update = false) {
   ClientOutcome o;
   o.values = std::move(values);
-  o.present = std::move(present);
+  o.present = wire::Bitset::from_bytemask(present);
   o.samples = samples;
   o.is_update = is_update;
   return o;
