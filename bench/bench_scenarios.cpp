@@ -1,0 +1,173 @@
+// Scenario-matrix runner: the event-driven engine under the checked-in
+// declarative scenarios (tests/scenarios/*.json) — availability windows,
+// mid-round churn, deadline cutoff with over-selection — for FedAvg and
+// FedBIAD on the MNIST-like workload over the heterogeneous fleet.
+//
+// Per cell it reports engine throughput (rounds/s of wall time),
+// sim-time-to-accuracy on the virtual clock, the dropped-upload fraction,
+// and the bytes wasted on abandoned uploads. With FEDBIAD_JSON=<path> set
+// it additionally emits the machine-readable trajectory checked in as
+// BENCH_scenarios.json (schema in bench/README.md).
+//
+//   $ ./build/bench/bench_scenarios            # full length
+//   $ ./build/bench/bench_scenarios --smoke    # 4 rounds per cell (CI)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "scenario/config.hpp"
+#include "scenario/model.hpp"
+
+#ifndef FEDBIAD_SCENARIO_DIR
+#error "FEDBIAD_SCENARIO_DIR must point at tests/scenarios"
+#endif
+
+namespace {
+
+struct CellResult {
+  std::string method;
+  std::string scenario;
+  double best_acc = 0.0;
+  double rounds_per_second = 0.0;
+  double sim_clock_seconds = 0.0;
+  std::optional<double> sim_tta_seconds;
+  double dropped_upload_fraction = 0.0;
+  std::uint64_t wasted_uplink_bytes = 0;
+  std::size_t dispatched = 0;
+  std::size_t abandoned = 0;
+};
+
+void write_json(const std::string& path, const std::vector<CellResult>& cells,
+                double scale, bool smoke) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "bench_scenarios: cannot write %s\n", path.c_str());
+    return;
+  }
+  auto num = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return std::string(buf);
+  };
+  os << "{\n";
+  os << "  \"bench\": \"scenarios\",\n";
+  os << "  \"schema_version\": 1,\n";
+  os << "  \"scale\": " << num(scale) << ",\n";
+  os << "  \"seed\": 42,\n";
+  os << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  os << "  \"series\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    os << "    {\"dataset\": \"MNIST\", \"method\": \"" << c.method
+       << "\", \"scenario\": \"" << c.scenario << "\",\n";
+    os << "     \"summary\": {\"best_acc\": " << num(c.best_acc)
+       << ", \"rounds_per_second\": " << num(c.rounds_per_second)
+       << ", \"sim_clock_seconds\": " << num(c.sim_clock_seconds);
+    if (c.sim_tta_seconds.has_value()) {
+      os << ", \"sim_tta_seconds\": " << num(*c.sim_tta_seconds);
+    }
+    os << ",\n      \"dropped_upload_fraction\": "
+       << num(c.dropped_upload_fraction)
+       << ", \"wasted_uplink_bytes\": " << c.wasted_uplink_bytes
+       << ", \"dispatched\": " << c.dispatched
+       << ", \"abandoned\": " << c.abandoned << "}}"
+       << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fedbiad;
+  using namespace fedbiad::bench;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  // Scenario axis: the checked-in corpus minus the entries that only make
+  // sense at other timescales (deadline_tight / flash_crowd carry
+  // sub-second deadlines calibrated to the test fixture; bench jobs run
+  // 1-30 virtual seconds, so those would starve every round).
+  const std::vector<std::string> scenarios{"ideal", "diurnal",
+                                           "churn_moderate", "churn_heavy",
+                                           "deadline_bench"};
+  const std::vector<std::string> methods{"FedAvg", "FedBIAD"};
+
+  Workload w = make_workload(DatasetId::kMnist);
+  w.sim.eval_every = 1;
+  if (smoke) w.sim.rounds = 4;
+  const auto fleet = make_heterogeneity();
+
+  std::printf("=== Scenario matrix: barrier engine, heterogeneous fleet ===\n");
+  std::printf("(%zu rounds per cell; deadline_bench cuts at 10 virtual "
+              "seconds, churn kills 15%%/40%% of dispatches, diurnal gates "
+              "clients on availability windows)\n\n",
+              w.sim.rounds);
+  std::printf("%-9s %-15s  best_acc  rounds/s  sim_clock  sim_TTA      "
+              "dropped  wasted\n",
+              "method", "scenario");
+
+  std::vector<CellResult> cells;
+  for (const auto& m : methods) {
+    for (const auto& s : scenarios) {
+      const scenario::Config cfg = scenario::Config::load(
+          std::string(FEDBIAD_SCENARIO_DIR) + "/" + s + ".json");
+      fl::AsyncSimulationConfig acfg;
+      acfg.base = w.sim;
+      acfg.mode = fl::AggregationMode::kBarrier;
+      acfg.heterogeneity = fleet;
+      acfg.hooks = scenario::make_engine_hooks(cfg, w.partition.size());
+      acfg.scenario_name = cfg.name;
+      fl::AsyncSimulation sim(acfg, w.factory, w.train, w.test, w.partition,
+                              make_strategy(m, w));
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto result = sim.run();
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+
+      CellResult c;
+      c.method = m;
+      c.scenario = s;
+      c.best_acc = result.best_accuracy(w.topk_metric);
+      c.rounds_per_second =
+          static_cast<double>(result.rounds.size()) / std::max(wall, 1e-9);
+      c.sim_clock_seconds = result.rounds.back().clock_seconds;
+      c.sim_tta_seconds =
+          result.sim_time_to_accuracy(w.tta_target, w.topk_metric);
+      c.dropped_upload_fraction = result.dropped_upload_fraction();
+      c.wasted_uplink_bytes = result.total_wasted_uplink_bytes;
+      c.dispatched = result.total_dispatched;
+      c.abandoned = result.total_abandoned;
+      cells.push_back(c);
+
+      std::printf("%-9s %-15s  %7.2f%%  %8.2f  %9s  %-11s  %6.1f%%  %s\n",
+                  m.c_str(), s.c_str(), 100.0 * c.best_acc,
+                  c.rounds_per_second,
+                  netsim::format_seconds(c.sim_clock_seconds).c_str(),
+                  c.sim_tta_seconds.has_value()
+                      ? netsim::format_seconds(*c.sim_tta_seconds).c_str()
+                      : "not reached",
+                  100.0 * c.dropped_upload_fraction,
+                  netsim::format_bytes(
+                      static_cast<double>(c.wasted_uplink_bytes))
+                      .c_str());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  if (const char* path = std::getenv("FEDBIAD_JSON")) {
+    write_json(path, cells, env_scale(), smoke);
+    std::printf("wrote %s (%zu cells)\n", path, cells.size());
+  }
+  return 0;
+}

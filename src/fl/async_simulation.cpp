@@ -7,6 +7,7 @@
 #include <functional>
 #include <future>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <utility>
@@ -28,8 +29,17 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+void sort_by_slot(std::vector<PendingUpdate>& batch) {
+  std::sort(batch.begin(), batch.end(),
+            [](const PendingUpdate& a, const PendingUpdate& b) {
+              return a.slot < b.slot;
+            });
+}
+
 /// Barrier: hold the whole wave, release it sorted by selection slot so the
 /// aggregation order (and therefore every float) matches the sync engine.
+/// Under a scenario the engine constructs it with an unreachable wave size
+/// and calls flush() itself once the wave's survivors have all arrived.
 class BarrierAggregator final : public AsyncAggregator {
  public:
   explicit BarrierAggregator(std::size_t wave_size) : wave_size_(wave_size) {
@@ -39,12 +49,12 @@ class BarrierAggregator final : public AsyncAggregator {
   [[nodiscard]] std::vector<PendingUpdate> offer(PendingUpdate up) override {
     held_.push_back(std::move(up));
     if (held_.size() < wave_size_) return {};
+    return flush();
+  }
+  [[nodiscard]] std::vector<PendingUpdate> flush() override {
     std::vector<PendingUpdate> batch = std::move(held_);
     held_.clear();
-    std::sort(batch.begin(), batch.end(),
-              [](const PendingUpdate& a, const PendingUpdate& b) {
-                return a.slot < b.slot;
-              });
+    sort_by_slot(batch);
     return batch;
   }
   [[nodiscard]] std::size_t buffered() const override { return held_.size(); }
@@ -54,7 +64,7 @@ class BarrierAggregator final : public AsyncAggregator {
   std::vector<PendingUpdate> held_;
 };
 
-/// FedAsync: every arrival is its own commit.
+/// FedAsync: every arrival is its own commit; nothing is ever held back.
 class FedAsyncAggregator final : public AsyncAggregator {
  public:
   [[nodiscard]] std::string name() const override { return "fedasync"; }
@@ -63,6 +73,7 @@ class FedAsyncAggregator final : public AsyncAggregator {
     batch.push_back(std::move(up));
     return batch;
   }
+  [[nodiscard]] std::vector<PendingUpdate> flush() override { return {}; }
   [[nodiscard]] std::size_t buffered() const override { return 0; }
 };
 
@@ -76,6 +87,9 @@ class BufferedAggregator final : public AsyncAggregator {
   [[nodiscard]] std::vector<PendingUpdate> offer(PendingUpdate up) override {
     held_.push_back(std::move(up));
     if (held_.size() < k_) return {};
+    return flush();
+  }
+  [[nodiscard]] std::vector<PendingUpdate> flush() override {
     std::vector<PendingUpdate> batch = std::move(held_);
     held_.clear();
     return batch;
@@ -201,6 +215,24 @@ SimulationResult AsyncSimulation::run() {
   FEDBIAD_CHECK(select <= populated.size(),
                 "selection fraction exceeds populated clients");
 
+  // Scenario extension points. Every scenario branch below is guarded by
+  // this flag: with no hooks configured the engine consumes exactly the
+  // same rng draws and schedules exactly the same events as before the
+  // scenario layer existed (the golden traces pin this).
+  EngineHooks* hooks = cfg_.hooks.get();
+  const bool scenario = hooks != nullptr;
+  // Over-selection: keep ceil(select · factor) clients in flight (per wave
+  // under barrier) to hedge against churn and deadline losses.
+  const std::size_t select_target =
+      scenario
+          ? std::min(populated.size(),
+                     std::max(select,
+                              static_cast<std::size_t>(std::ceil(
+                                  static_cast<double>(select) *
+                                  hooks->over_selection()))))
+          : select;
+  const double deadline = scenario ? hooks->deadline_seconds() : 0.0;
+
   // Profiles come from a split of the base seed, not from `rng`: the main
   // selection stream must consume exactly the same draws as the sync engine
   // regardless of the heterogeneity config.
@@ -217,6 +249,7 @@ SimulationResult AsyncSimulation::run() {
   SimulationResult result;
   result.strategy = strategy_->name();
   result.engine = to_string(cfg_.mode);
+  result.scenario = cfg_.scenario_name;
   result.rounds.reserve(base.rounds);
 
   std::vector<float> global(n);
@@ -236,6 +269,17 @@ SimulationResult AsyncSimulation::run() {
     std::shared_ptr<const std::vector<float>> snapshot;
     std::future<ClientOutcome> future;
     std::unique_ptr<PendingUpdate> pending;  ///< set once the upload starts
+    // Scenario state (inert without hooks): the per-dispatch churn draw,
+    // when the upload started (wasted-byte accounting at the deadline), and
+    // the cancellable events racing over this job's fate. For a churned job
+    // arrival_event holds the scheduled mid-upload abandon instead — an
+    // arrival is never scheduled for it.
+    bool churn_fails = false;
+    double churn_fraction = 0.0;
+    double upload_start = 0.0;
+    EventScheduler::EventId training_event = EventScheduler::kNoEvent;
+    EventScheduler::EventId arrival_event = EventScheduler::kNoEvent;
+    EventScheduler::EventId deadline_event = EventScheduler::kNoEvent;
   };
   std::deque<Job> jobs;
   std::shared_ptr<const std::vector<float>> version_snapshot;
@@ -247,7 +291,11 @@ SimulationResult AsyncSimulation::run() {
   std::unique_ptr<AsyncAggregator> aggregator;
   switch (cfg_.mode) {
     case AggregationMode::kBarrier:
-      aggregator = make_barrier_aggregator(select);
+      // Under a scenario the engine owns wave completion (members may churn
+      // or time out): the barrier never self-releases, the engine flushes
+      // once the wave's outstanding count reaches zero.
+      aggregator = make_barrier_aggregator(
+          scenario ? std::numeric_limits<std::size_t>::max() : select);
       break;
     case AggregationMode::kFedAsync:
       aggregator = make_fedasync_aggregator();
@@ -263,10 +311,28 @@ SimulationResult AsyncSimulation::run() {
   const bool barrier = cfg_.mode == AggregationMode::kBarrier;
   const std::size_t per_commit =
       cfg_.mode == AggregationMode::kBufferedK ? cfg_.buffer_size : 1;
-  // Async modes: every dispatch yields exactly one arrival, and commits
-  // consume per_commit arrivals, so the total dispatch budget is fixed.
+  // Async modes without a scenario: every dispatch yields exactly one
+  // arrival, and commits consume per_commit arrivals, so the total dispatch
+  // budget is fixed. With hooks the budget can't be fixed (abandoned
+  // dispatches never arrive), so the engine instead keeps dispatching until
+  // the round count is reached, bounded by a generous cap that turns a
+  // starved scenario (e.g. everything churns) into a loud error.
   const std::size_t dispatch_budget =
       barrier ? base.rounds * select : base.rounds * per_commit;
+  const std::size_t dispatch_cap =
+      (base.rounds * std::max(select_target, per_commit) + 16) * 64;
+
+  // Whole-run ledger: dispatched == committed + abandoned + buffered +
+  // in-flight at every quiescent point (the scenario property tests pin the
+  // final state). round_* accumulate between commits into RoundRecord.
+  std::size_t committed_total = 0;
+  std::size_t abandoned_total = 0;
+  std::uint64_t wasted_uplink_total = 0;
+  std::size_t round_abandoned = 0;
+  std::uint64_t round_wasted = 0;
+  std::size_t wave_outstanding = 0;  // scenario barrier: wave members unresolved
+  bool retry_scheduled = false;      // one pending availability retry at most
+  std::vector<Job*> zombies;         // abandoned while still training
 
   // The pool is declared after everything its worker tasks reference
   // (jobs, replicas, the free list and its mutex), so its destructor —
@@ -291,9 +357,27 @@ SimulationResult AsyncSimulation::run() {
            strategy_->compute_cost_multiplier();
   };
 
-  std::function<void(Job&)> on_arrival;  // assigned below (needs commit)
+  // Mutually recursive engine steps: declared up front, assigned below.
+  std::function<void(Job&)> on_arrival;
+  std::function<void(Job&, std::uint64_t)> abandon_job;
+  std::function<void()> finish_wave;
+  std::function<void()> schedule_retry;
+
+  // A job abandoned before its training event ran still has run_client
+  // executing on the pool against job.snapshot. The Strategy contract says
+  // server hooks never overlap run_client, so block on such zombies (real
+  // time only) before the next begin_round/end_round; their outcomes are
+  // discarded.
+  auto quiesce_zombies = [&] {
+    for (Job* jp : zombies) {
+      if (jp->future.valid()) jp->future.wait();
+      jp->snapshot.reset();
+    }
+    zombies.clear();
+  };
 
   auto on_training_done = [&](Job& job) {
+    job.training_event = EventScheduler::kNoEvent;
     ClientOutcome out = job.future.get();
     out.client_id = job.client;
     // The pool task is done with the snapshot; drop this job's reference.
@@ -310,22 +394,72 @@ SimulationResult AsyncSimulation::run() {
         profiles[job.client].upload_seconds(out.payload.size());
     up->outcome = std::move(out);
     job.pending = std::move(up);
+    job.upload_start = sched.now();
     Job* jp = &job;
-    sched.schedule_after(job.pending->upload_seconds, [&, jp] {
-      jp->pending->arrival_clock = sched.now();
-      busy.erase(jp->client);
-      on_arrival(*jp);
-    });
+    if (job.churn_fails) {
+      // Resolve the dispatch-time churn draw now that the full timeline is
+      // known: the client dies `fraction` of the way through
+      // download + compute + upload. Its upload never arrives.
+      const double total =
+          job.download_s + job.compute_s + job.pending->upload_seconds;
+      const double fail_t = job.dispatch_clock + job.churn_fraction * total;
+      if (fail_t <= sched.now()) {
+        // Died during download or compute: nothing reached the server.
+        abandon_job(job, 0);
+      } else {
+        const double frac =
+            (fail_t - sched.now()) / job.pending->upload_seconds;
+        const auto wasted = static_cast<std::uint64_t>(
+            static_cast<double>(job.pending->outcome.payload.size()) * frac);
+        job.arrival_event = sched.schedule_at(
+            fail_t, [&, jp, wasted] { abandon_job(*jp, wasted); });
+      }
+      return;
+    }
+    job.arrival_event =
+        sched.schedule_after(job.pending->upload_seconds, [&, jp] {
+          jp->arrival_event = EventScheduler::kNoEvent;
+          jp->pending->arrival_clock = sched.now();
+          busy.erase(jp->client);
+          on_arrival(*jp);
+        });
+  };
+
+  auto on_deadline = [&](Job& job) {
+    job.deadline_event = EventScheduler::kNoEvent;
+    std::uint64_t wasted = 0;
+    if (job.pending && job.pending->upload_seconds > 0.0) {
+      // The upload was in progress: the bytes already pushed are wasted.
+      const double frac =
+          std::clamp((sched.now() - job.upload_start) /
+                         job.pending->upload_seconds,
+                     0.0, 1.0);
+      wasted = static_cast<std::uint64_t>(
+          static_cast<double>(job.pending->outcome.payload.size()) * frac);
+    }
+    abandon_job(job, wasted);
   };
 
   auto dispatch = [&](std::size_t client, std::size_t slot,
                       std::uint64_t rng_stream) {
+    if (scenario) {
+      FEDBIAD_CHECK(dispatched < dispatch_cap,
+                    "scenario starved the engine (dispatch cap reached)");
+    }
     jobs.emplace_back();
     Job& job = jobs.back();
     job.client = client;
     job.slot = slot;
     job.version = version;
     job.dispatch_clock = sched.now();
+    if (scenario) {
+      // Keyed on the global dispatch counter: a re-dispatched client gets
+      // an independent draw, and the draw never touches the engine's own
+      // selection stream.
+      const ChurnDecision churn = hooks->churn(client, dispatched);
+      job.churn_fails = churn.fails;
+      job.churn_fraction = churn.fraction;
+    }
     const auto& prof = profiles[client];
     if (!version_snapshot) {
       // Server→client path: encode the model broadcast for real (once per
@@ -369,6 +503,7 @@ SimulationResult AsyncSimulation::run() {
           .rng = ctx_rng,
           .model_version = jp->version,
           .dispatch_clock = jp->dispatch_clock,
+          .deadline_seconds = deadline,
       };
       const auto start = Clock::now();
       ClientOutcome out = strategy_->run_client(ctx);
@@ -380,32 +515,134 @@ SimulationResult AsyncSimulation::run() {
       }
       return out;
     });
-    sched.schedule_after(job.download_s + job.compute_s,
-                         [&, jp] { on_training_done(*jp); });
+    job.training_event = sched.schedule_after(
+        job.download_s + job.compute_s, [&, jp] { on_training_done(*jp); });
+    if (deadline > 0.0) {
+      // Scheduled at dispatch, so its id is lower than any arrival event
+      // (those are scheduled at training-done): at an exactly-equal
+      // timestamp the deadline runs first and the arrival is abandoned —
+      // the cutoff is strict.
+      job.deadline_event = sched.schedule_at(
+          job.dispatch_clock + deadline, [&, jp] { on_deadline(*jp); });
+    }
   };
 
   // Barrier: one synchronized wave per round, selected exactly like the
-  // sync engine (same rng draws, same order).
+  // sync engine (same rng draws, same order). The scenario path filters
+  // candidates by availability first; with every client available and
+  // over_selection = 1 it performs the identical sample_without_replacement
+  // call, so an all-defaults scenario reproduces the hook-free wave.
   auto dispatch_wave = [&] {
-    const auto picks = rng.sample_without_replacement(populated.size(), select);
+    if (!scenario) {
+      const auto picks =
+          rng.sample_without_replacement(populated.size(), select);
+      strategy_->begin_round(version + 1, global);
+      std::size_t slot = 0;
+      for (const auto i : picks) dispatch(populated[i], slot++, version + 1);
+      return;
+    }
+    std::vector<std::size_t> candidates;
+    for (const std::size_t k : populated) {
+      if (busy.find(k) == busy.end() &&
+          hooks->client_available(k, sched.now())) {
+        candidates.push_back(k);
+      }
+    }
+    if (candidates.empty()) {
+      schedule_retry();
+      return;
+    }
+    const std::size_t want = std::min(select_target, candidates.size());
+    const auto picks = rng.sample_without_replacement(candidates.size(), want);
+    quiesce_zombies();
     strategy_->begin_round(version + 1, global);
+    wave_outstanding = want;
     std::size_t slot = 0;
-    for (const auto i : picks) dispatch(populated[i], slot++, version + 1);
+    for (const auto i : picks) dispatch(candidates[i], slot++, version + 1);
   };
 
-  // Async modes: keep `select` clients in flight until the dispatch budget
-  // is spent. Replacements are drawn uniformly from the idle populated
-  // clients on the engine thread, so the choice is deterministic.
+  // Async modes: keep clients in flight, replacements drawn uniformly from
+  // the idle (and, under a scenario, currently available) populated clients
+  // on the engine thread, so the choice is deterministic.
   auto top_up = [&] {
-    while (dispatched < dispatch_budget && busy.size() < select) {
+    if (!scenario) {
+      while (dispatched < dispatch_budget && busy.size() < select) {
+        std::vector<std::size_t> avail;
+        for (const std::size_t k : populated) {
+          if (busy.find(k) == busy.end()) avail.push_back(k);
+        }
+        if (avail.empty()) break;
+        const std::size_t client = avail[rng.uniform_index(avail.size())];
+        dispatch(client, 0, 0x10000 + dispatched);
+      }
+      return;
+    }
+    while (version < base.rounds && busy.size() < select_target) {
       std::vector<std::size_t> avail;
       for (const std::size_t k : populated) {
-        if (busy.find(k) == busy.end()) avail.push_back(k);
+        if (busy.find(k) == busy.end() &&
+            hooks->client_available(k, sched.now())) {
+          avail.push_back(k);
+        }
       }
-      if (avail.empty()) break;
+      if (avail.empty()) {
+        // Arrivals of in-flight jobs re-trigger top_up; only a fully idle
+        // engine needs a scheduled wake-up to avoid draining the queue.
+        if (busy.empty()) schedule_retry();
+        break;
+      }
       const std::size_t client = avail[rng.uniform_index(avail.size())];
       dispatch(client, 0, 0x10000 + dispatched);
     }
+  };
+
+  abandon_job = [&](Job& job, std::uint64_t wasted) {
+    // Do NOT touch job.snapshot here: if training is still running, the
+    // pool task dereferences it. cancel() of an already-run or kNoEvent id
+    // is a no-op, so cancelling all three races is always safe.
+    if (sched.cancel(job.training_event)) zombies.push_back(&job);
+    sched.cancel(job.arrival_event);
+    sched.cancel(job.deadline_event);
+    job.training_event = EventScheduler::kNoEvent;
+    job.arrival_event = EventScheduler::kNoEvent;
+    job.deadline_event = EventScheduler::kNoEvent;
+    job.pending.reset();
+    busy.erase(job.client);
+    ++abandoned_total;
+    ++round_abandoned;
+    wasted_uplink_total += wasted;
+    round_wasted += wasted;
+    if (barrier) {
+      FEDBIAD_CHECK(wave_outstanding > 0, "abandon outside a wave");
+      if (--wave_outstanding == 0) finish_wave();
+    } else if (version < base.rounds) {
+      top_up();
+    }
+  };
+
+  schedule_retry = [&] {
+    if (retry_scheduled) return;
+    double t = std::numeric_limits<double>::infinity();
+    for (const std::size_t k : populated) {
+      if (busy.find(k) == busy.end()) {
+        t = std::min(t, hooks->next_available_time(k, sched.now()));
+      }
+    }
+    // Callers only get here when nobody is available *now*, so a correct
+    // hook returns a strictly later time — anything else would spin the
+    // virtual clock in place.
+    FEDBIAD_CHECK(std::isfinite(t) && t > sched.now(),
+                  "scenario never makes another client available");
+    retry_scheduled = true;
+    sched.schedule_at(t, [&] {
+      retry_scheduled = false;
+      if (version >= base.rounds) return;
+      if (barrier) {
+        if (wave_outstanding == 0) dispatch_wave();
+      } else {
+        top_up();
+      }
+    });
   };
 
   auto evaluate_into = [&](RoundRecord& rec) {
@@ -427,6 +664,7 @@ SimulationResult AsyncSimulation::run() {
   };
 
   auto commit = [&](std::vector<PendingUpdate> batch) {
+    quiesce_zombies();
     if (!barrier) {
       // The Strategy contract promises begin_round/end_round never overlap
       // a run_client on a worker thread (AFD's pattern broadcast and score
@@ -463,6 +701,7 @@ SimulationResult AsyncSimulation::run() {
     tensor::copy(global, global_model->store().params());
     version_snapshot.reset();  // the global changed; next dispatch re-copies
     ++version;
+    committed_total += batch.size();
 
     RoundRecord rec;
     rec.round = version;
@@ -486,6 +725,10 @@ SimulationResult AsyncSimulation::run() {
     rec.aggregate_seconds = agg_seconds;
     rec.clock_seconds = sched.now();
     rec.mean_staleness = staleness_acc / static_cast<double>(batch.size());
+    rec.abandoned = round_abandoned;
+    rec.wasted_uplink_bytes = round_wasted;
+    round_abandoned = 0;
+    round_wasted = 0;
     evaluate_into(rec);
 
     if (base.verbose) {
@@ -505,15 +748,37 @@ SimulationResult AsyncSimulation::run() {
     }
   };
 
+  finish_wave = [&] {
+    auto batch = aggregator->flush();
+    if (batch.empty()) {
+      // The entire wave churned or timed out: nothing to aggregate. Leave
+      // the model untouched and select a fresh wave for the same round —
+      // begin_round runs again for that round number, which is fine: it is
+      // an engine-thread-only hook and the repeat is itself deterministic.
+      if (version < base.rounds) dispatch_wave();
+      return;
+    }
+    commit(std::move(batch));
+  };
+
   on_arrival = [&](Job& job) {
+    if (scenario) sched.cancel(job.deadline_event);
     PendingUpdate up = std::move(*job.pending);
     job.pending.reset();
     // The upload has arrived: decode the payload on the engine thread into
     // the dense values + packed presence the aggregator consumes, record the
-    // measured uplink size, and drop the raw bytes.
+    // measured uplink size, and drop the raw bytes. Abandoned uploads never
+    // reach this point, so their bytes are only ever counted in the
+    // wasted-uplink ledger.
     decode_outcome(*strategy_, global_model->store(), up.outcome);
     up.outcome.payload.bytes = {};
     auto batch = aggregator->offer(std::move(up));
+    if (scenario && barrier) {
+      FEDBIAD_CHECK(batch.empty(), "scenario barrier must not self-release");
+      FEDBIAD_CHECK(wave_outstanding > 0, "arrival outside a wave");
+      if (--wave_outstanding == 0) finish_wave();
+      return;
+    }
     if (!batch.empty()) commit(std::move(batch));
     if (!barrier) top_up();
   };
@@ -531,6 +796,13 @@ SimulationResult AsyncSimulation::run() {
   for (Job& job : jobs) {
     if (job.future.valid()) job.future.wait();
   }
+
+  result.total_dispatched = dispatched;
+  result.total_committed = committed_total;
+  result.total_abandoned = abandoned_total;
+  result.total_wasted_uplink_bytes = wasted_uplink_total;
+  result.final_in_flight = busy.size();
+  result.final_buffered = aggregator->buffered();
 
   result.final_params = std::move(global);
   return result;

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "data/partition.hpp"
+#include "fl/engine_hooks.hpp"
 #include "fl/metrics.hpp"
 #include "fl/simulation.hpp"
 #include "fl/strategy.hpp"
@@ -73,6 +74,11 @@ class AsyncAggregator {
   /// deterministic commit order, or an empty vector to keep buffering.
   [[nodiscard]] virtual std::vector<PendingUpdate> offer(
       PendingUpdate update) = 0;
+  /// Surrenders everything held back, in the same deterministic order a
+  /// regular release would use. The engine calls this for partial-cohort
+  /// commits: a scenario wave whose missing members were abandoned (churn
+  /// or deadline cutoff) must aggregate what actually arrived.
+  [[nodiscard]] virtual std::vector<PendingUpdate> flush() = 0;
   /// Updates currently held back.
   [[nodiscard]] virtual std::size_t buffered() const = 0;
 };
@@ -92,6 +98,14 @@ struct AsyncSimulationConfig {
   std::size_t buffer_size = 4;  ///< K for kBufferedK
   /// Per-client device/link heterogeneity; homogeneous by default.
   netsim::HeterogeneityConfig heterogeneity;
+  /// Scenario extension points (availability, churn, deadlines,
+  /// over-selection) — see fl/engine_hooks.hpp for the determinism
+  /// contract and src/scenario for the declarative JSON implementation.
+  /// Null (the default) preserves the engine's original behaviour exactly;
+  /// trajectories and rng draws are bit-identical to a hook-free run.
+  std::shared_ptr<EngineHooks> hooks;
+  /// Label recorded in SimulationResult::scenario (traces, benches).
+  std::string scenario_name;
 };
 
 class AsyncSimulation {

@@ -1,0 +1,65 @@
+// Scenario extension points for the event-driven engine.
+//
+// AsyncSimulation consults an EngineHooks implementation — when one is
+// configured — at every dispatch decision: which clients are currently
+// available, whether a dispatched client will churn away mid-round, how
+// long an upload may take before the server abandons it, and how far the
+// server over-selects to hedge against losses. The fl layer defines only
+// this interface; the concrete implementation (declarative JSON scenarios:
+// diurnal availability windows, correlated participation, churn, deadlines)
+// lives in src/scenario and is handed in through AsyncSimulationConfig.
+//
+// Determinism contract: every method is called from the engine thread only,
+// in virtual-time event order, and must be a pure function of its arguments
+// plus the scenario's own seed (implementations may cache, they may not
+// consult wall clocks or global mutable state). That keeps trajectories
+// identical across worker-thread counts and repeated runs.
+#pragma once
+
+#include <cstddef>
+
+namespace fedbiad::fl {
+
+/// Outcome of the per-dispatch churn draw. When `fails` is set, the client
+/// silently dies `fraction` of the way through its download → compute →
+/// upload timeline: its upload never arrives, and any bytes it already
+/// pushed up-link count as wasted.
+struct ChurnDecision {
+  bool fails = false;
+  double fraction = 0.0;  ///< in [0, 1): where on the timeline it dies
+};
+
+class EngineHooks {
+ public:
+  virtual ~EngineHooks() = default;
+
+  /// Dispatch gate: may `client` be selected at virtual time `now`?
+  /// Availability is checked at dispatch only — a client that goes offline
+  /// mid-flight is modelled by churn, not by revoking an ongoing dispatch.
+  [[nodiscard]] virtual bool client_available(std::size_t client,
+                                              double now) = 0;
+
+  /// Earliest virtual time >= now at which `client` is available. Used to
+  /// schedule a dispatch retry when nobody is available; must be finite for
+  /// every client (scenario validation guarantees the process turns on).
+  [[nodiscard]] virtual double next_available_time(std::size_t client,
+                                                   double now) = 0;
+
+  /// Per-dispatch churn draw. `dispatch_seq` is the engine's global
+  /// dispatch counter, so a client re-dispatched after a failure gets an
+  /// independent draw.
+  [[nodiscard]] virtual ChurnDecision churn(std::size_t client,
+                                            std::size_t dispatch_seq) = 0;
+
+  /// Upload deadline in virtual seconds from dispatch; an upload that has
+  /// not arrived strictly before dispatch + deadline is abandoned and the
+  /// cohort aggregates without it. <= 0 disables the cutoff.
+  [[nodiscard]] virtual double deadline_seconds() const = 0;
+
+  /// Dispatch over-selection factor >= 1: the engine keeps
+  /// ceil(select × factor) clients in flight (per wave under barrier) to
+  /// hedge against churn and deadline losses.
+  [[nodiscard]] virtual double over_selection() const = 0;
+};
+
+}  // namespace fedbiad::fl

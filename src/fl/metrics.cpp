@@ -4,6 +4,12 @@
 
 namespace fedbiad::fl {
 
+double SimulationResult::dropped_upload_fraction() const {
+  if (total_dispatched == 0) return 0.0;
+  return static_cast<double>(total_abandoned) /
+         static_cast<double>(total_dispatched);
+}
+
 double SimulationResult::mean_upload_bytes() const {
   double bytes = 0.0;
   double clients = 0.0;
@@ -66,7 +72,8 @@ double SimulationResult::mean_lttr_seconds() const {
 void SimulationResult::write_csv(std::ostream& os) const {
   os << "round,train_loss,test_loss,top1,topk,uplink_total_bytes,"
         "uplink_max_bytes,downlink_bytes,lttr_s,upload_s,download_s,"
-        "aggregate_s,wall_s,clock_s,mean_staleness\n";
+        "aggregate_s,wall_s,clock_s,mean_staleness,abandoned,"
+        "wasted_uplink_bytes\n";
   for (const RoundRecord& r : rounds) {
     os << r.round << ',' << r.train_loss << ',' << r.test_loss << ','
        << r.top1 << ',' << r.topk << ',' << r.uplink_bytes_total << ','
@@ -74,7 +81,8 @@ void SimulationResult::write_csv(std::ostream& os) const {
        << r.lttr_seconds << ',' << r.upload_seconds << ','
        << r.download_seconds << ',' << r.aggregate_seconds << ','
        << r.wall_seconds() << ',' << r.clock_seconds << ','
-       << r.mean_staleness << '\n';
+       << r.mean_staleness << ',' << r.abandoned << ','
+       << r.wasted_uplink_bytes << '\n';
   }
 }
 

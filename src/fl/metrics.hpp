@@ -35,6 +35,13 @@ struct RoundRecord {
   /// dispatch and its merge) over this round's participants. Always 0 for
   /// synchronous/barrier aggregation.
   double mean_staleness = 0.0;
+  /// Scenario accounting (0 unless an EngineHooks scenario is configured):
+  /// dispatches whose upload was abandoned — churned away mid-round or cut
+  /// off at the deadline — since the previous commit, and the uplink bytes
+  /// those clients had already transmitted when they died. Abandoned
+  /// uploads never aggregate and never appear in uplink_bytes_total.
+  std::size_t abandoned = 0;
+  std::uint64_t wasted_uplink_bytes = 0;
   /// Simulated device-side round time: download + local training + upload +
   /// aggregation (clients run in parallel, so max-per-client terms are used).
   [[nodiscard]] double wall_seconds() const {
@@ -46,8 +53,23 @@ struct RoundRecord {
 struct SimulationResult {
   std::string strategy;
   std::string engine = "sync";  ///< "sync", "barrier", "fedasync", "buffered"
+  std::string scenario;         ///< scenario name; empty when none configured
   std::vector<RoundRecord> rounds;
   std::vector<float> final_params;
+
+  /// Whole-run dispatch conservation ledger (the invariant the scenario
+  /// property tests pin): total_dispatched == total_committed +
+  /// total_abandoned + final_buffered + final_in_flight.
+  std::size_t total_dispatched = 0;   ///< clients sent out
+  std::size_t total_committed = 0;    ///< updates that aggregated
+  std::size_t total_abandoned = 0;    ///< churned or deadline-cut uploads
+  std::size_t final_buffered = 0;     ///< sitting in the aggregator at exit
+  std::size_t final_in_flight = 0;    ///< still on the timeline at exit
+  std::uint64_t total_wasted_uplink_bytes = 0;
+
+  /// Fraction of dispatched uploads that were abandoned (0 when nothing
+  /// was dispatched).
+  [[nodiscard]] double dropped_upload_fraction() const;
 
   /// Mean per-client upload size per round (paper Table I "Upload Size").
   [[nodiscard]] double mean_upload_bytes() const;

@@ -7,26 +7,43 @@
 
 namespace fedbiad::fl {
 
-void EventScheduler::schedule_at(double time, Callback cb) {
+EventScheduler::EventId EventScheduler::schedule_at(double time, Callback cb) {
   FEDBIAD_CHECK(time >= now_, "cannot schedule an event in the past");
   FEDBIAD_CHECK(cb != nullptr, "event callback required");
-  heap_.push_back(Event{time, next_seq_++, std::move(cb)});
+  const EventId id = next_id_++;
+  heap_.push_back(Event{time, id, std::move(cb)});
   std::push_heap(heap_.begin(), heap_.end(), later);
+  return id;
 }
 
-void EventScheduler::schedule_after(double delay, Callback cb) {
+EventScheduler::EventId EventScheduler::schedule_after(double delay,
+                                                       Callback cb) {
   FEDBIAD_CHECK(delay >= 0.0, "event delay must be non-negative");
-  schedule_at(now_ + delay, std::move(cb));
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool EventScheduler::cancel(EventId id) {
+  if (id == kNoEvent || id >= next_id_) return false;
+  // Only ids still sitting in the heap may enter the cancelled set —
+  // otherwise pending() would undercount forever.
+  const bool live = std::any_of(
+      heap_.begin(), heap_.end(),
+      [id](const Event& ev) { return ev.id == id; });
+  if (!live) return false;
+  return cancelled_.insert(id).second;
 }
 
 bool EventScheduler::run_next() {
-  if (heap_.empty()) return false;
-  std::pop_heap(heap_.begin(), heap_.end(), later);
-  Event ev = std::move(heap_.back());
-  heap_.pop_back();
-  now_ = ev.time;
-  ev.cb();
-  return true;
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    if (cancelled_.erase(ev.id) > 0) continue;  // dropped, clock untouched
+    now_ = ev.time;
+    ev.cb();
+    return true;
+  }
+  return false;
 }
 
 void EventScheduler::run() {

@@ -6,10 +6,19 @@
 // threads execute the underlying work. Real computation (client training)
 // happens elsewhere; the scheduler only decides *when*, in simulated
 // seconds, its results become visible.
+//
+// Events can be cancelled by the id schedule_at/schedule_after return.
+// The scenario layer leans on this: an upload's deadline event is
+// cancelled when the upload arrives in time, and an arrival event is
+// never scheduled for a client that churned away — so races between
+// "arrived" and "abandoned" are resolved once, at scheduling time, not
+// re-litigated in every callback. Cancelled events are dropped lazily at
+// pop; they never advance the clock.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <unordered_set>
 #include <vector>
 
 namespace fedbiad::fl {
@@ -17,25 +26,37 @@ namespace fedbiad::fl {
 class EventScheduler {
  public:
   using Callback = std::function<void()>;
+  /// Handle for cancel(); ids are never reused within one scheduler.
+  using EventId = std::uint64_t;
+  static constexpr EventId kNoEvent = 0;
 
   /// Current virtual time in seconds. Starts at 0 and only moves forward.
   [[nodiscard]] double now() const noexcept { return now_; }
 
-  /// Number of events not yet executed.
-  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  /// Number of events not yet executed (cancelled events excluded).
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return heap_.size() - cancelled_.size();
+  }
 
-  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] bool empty() const noexcept { return pending() == 0; }
 
   /// Schedules `cb` at absolute virtual time `time` (must be >= now()).
-  /// Events at equal times run in the order they were scheduled.
-  void schedule_at(double time, Callback cb);
+  /// Events at equal times run in the order they were scheduled. Returns a
+  /// non-zero id usable with cancel().
+  EventId schedule_at(double time, Callback cb);
 
   /// Schedules `cb` `delay` virtual seconds from now (delay must be >= 0).
-  void schedule_after(double delay, Callback cb);
+  EventId schedule_after(double delay, Callback cb);
 
-  /// Pops the earliest event, advances the clock to its time, and runs it.
-  /// The callback may schedule further events. Returns false when no event
-  /// was pending.
+  /// Cancels a pending event. Returns true if the event was still pending;
+  /// false if it already ran, was already cancelled, or the id is unknown
+  /// (kNoEvent included) — cancelling is always safe. A cancelled event
+  /// never runs and never advances the clock.
+  bool cancel(EventId id);
+
+  /// Pops the earliest non-cancelled event, advances the clock to its time,
+  /// and runs it. The callback may schedule further events. Returns false
+  /// when no runnable event was pending.
   bool run_next();
 
   /// Runs events until the queue is empty.
@@ -44,20 +65,21 @@ class EventScheduler {
  private:
   struct Event {
     double time = 0.0;
-    std::uint64_t seq = 0;  ///< insertion order, breaks time ties
+    EventId id = 0;  ///< insertion order; breaks time ties, keys cancel()
     Callback cb;
   };
 
-  // Min-heap on (time, seq) via std::push_heap/std::pop_heap so the popped
+  // Min-heap on (time, id) via std::push_heap/std::pop_heap so the popped
   // event can be moved out (std::priority_queue::top is const).
   static bool later(const Event& a, const Event& b) {
     if (a.time != b.time) return a.time > b.time;
-    return a.seq > b.seq;
+    return a.id > b.id;
   }
 
   std::vector<Event> heap_;
+  std::unordered_set<EventId> cancelled_;  ///< pending-but-cancelled ids
   double now_ = 0.0;
-  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;  ///< 0 is kNoEvent
 };
 
 }  // namespace fedbiad::fl

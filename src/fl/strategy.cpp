@@ -11,6 +11,13 @@ wire::Decoded Strategy::decode_payload(const nn::ParameterStore& layout,
 
 void decode_outcome(const Strategy& strategy, const nn::ParameterStore& layout,
                     ClientOutcome& out) {
+  // Decoding is a receive step, not a query: it charges the payload's bytes
+  // to uplink_bytes exactly once. The engines drop the raw payload right
+  // after decoding (and count abandoned uploads only in the wasted-bytes
+  // ledger, never here), so a second decode of the same outcome would
+  // silently re-charge — or, post-drop, zero — the measured traffic.
+  FEDBIAD_CHECK(out.values.empty() && out.present.size() == 0,
+                "outcome already decoded — uplink bytes would double-count");
   wire::Decoded decoded = strategy.decode_payload(layout, out.payload);
   FEDBIAD_CHECK(decoded.values.size() == layout.size() &&
                     decoded.present.size() == layout.size(),

@@ -66,6 +66,12 @@ struct ClientContext {
   std::size_t model_version = 0;
   /// Virtual-clock time the client was dispatched (0 in the sync engine).
   double dispatch_clock = 0.0;
+  /// Upload-deadline signal: the virtual seconds this client has from
+  /// dispatch until the server abandons its upload (scenario deadline
+  /// cutoff). 0 when no deadline is configured. Strategies may use it to
+  /// trade upload size against the risk of missing the cutoff; the default
+  /// strategies ignore it.
+  double deadline_seconds = 0.0;
 };
 
 /// How the server combines client values (DESIGN.md §2 discusses the two).

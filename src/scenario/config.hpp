@@ -1,0 +1,102 @@
+// Declarative scenario configuration (JSON) for the event-driven engine.
+//
+// A scenario describes *adverse participation dynamics* — the conditions
+// FedBIAD's headline numbers were not measured under: diurnal availability
+// windows, correlated (non-IID over time) participation, mid-round client
+// churn, and deadline-based round cutoff with over-selection. Scenarios are
+// data, not code: a JSON file in tests/scenarios/ is the unit the test
+// corpus, the golden traces, and the bench matrix all share.
+//
+// Schema (all sections optional; an empty object is the ideal scenario and
+// leaves the engine's behaviour bit-identical to running with no scenario):
+//
+//   {
+//     "name": "churn_heavy",          // string label
+//     "seed": 1234,                   // scenario-owned rng seed (uint)
+//     "over_selection": 1.5,          // [1, 8]: dispatch ceil(select × f)
+//     "deadline_seconds": 40.0,       // > 0 enables the upload cutoff
+//     "availability": {
+//       "period_seconds": 240.0,      // > 0: diurnal cycle length
+//       "window_fraction": 0.5,       // (0, 1]: on-window width per cycle
+//       "on_probability": 0.9,        // (0, 1]: P(client participates in a cycle)
+//       "correlation": 0.6            // [0, 1): stickiness of that state
+//     },
+//     "churn": {
+//       "failure_rate": 0.2           // [0, 0.95]: P(dispatch dies mid-round)
+//     }
+//   }
+//
+// Parsing is strict: unknown keys anywhere, wrong types, and out-of-range
+// values all throw fedbiad::CheckError — a typo'd scenario must never run
+// silently as the ideal one. to_json() emits a canonical form that parses
+// back to an equal Config (round-trip pinned by tests).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace fedbiad::scenario {
+
+/// Diurnal + correlated participation process. Each client gets a phase
+/// (drawn from the scenario seed) positioning its on-window inside the
+/// period; window_fraction sizes the window (wrapping around the period
+/// boundary when phase + width overflows). Independently, a two-state
+/// Markov chain per client gates whole periods: the client participates in
+/// period k with marginal probability on_probability, and `correlation` is
+/// the extra probability mass of repeating the previous period's state —
+/// bursts of presence and absence, i.e. participation that is non-IID over
+/// time.
+struct AvailabilityConfig {
+  double period_seconds = 600.0;
+  double window_fraction = 1.0;
+  double on_probability = 1.0;
+  double correlation = 0.0;
+
+  bool operator==(const AvailabilityConfig&) const = default;
+};
+
+/// Mid-round failure: each dispatch independently dies with probability
+/// failure_rate, at a uniform point of its download → compute → upload
+/// timeline. Capped below 1 so scenarios cannot starve the engine outright
+/// (the engine additionally enforces a dispatch cap).
+struct ChurnConfig {
+  double failure_rate = 0.0;
+
+  bool operator==(const ChurnConfig&) const = default;
+};
+
+struct Config {
+  std::string name = "unnamed";
+  std::uint64_t seed = 1;
+  double over_selection = 1.0;
+  double deadline_seconds = 0.0;  ///< <= 0 disables the cutoff
+  std::optional<AvailabilityConfig> availability;
+  std::optional<ChurnConfig> churn;
+
+  bool operator==(const Config&) const = default;
+
+  /// True when any section deviates from the ideal scenario.
+  [[nodiscard]] bool active() const {
+    return over_selection != 1.0 || deadline_seconds > 0.0 ||
+           availability.has_value() || churn.has_value();
+  }
+
+  /// Range-checks every field; throws CheckError with the offending field
+  /// named. from_json() always validates; call this after mutating a Config
+  /// built in code.
+  void validate() const;
+
+  /// Strict parse + validate. Throws CheckError on malformed JSON, unknown
+  /// keys, wrong types, or out-of-range values.
+  static Config from_json(const std::string& text);
+
+  /// Reads and parses a scenario file; throws CheckError (unreadable file
+  /// included).
+  static Config load(const std::string& path);
+
+  /// Canonical JSON emission: from_json(to_json()) == *this.
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace fedbiad::scenario

@@ -1,0 +1,195 @@
+#include "scenario/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace fedbiad::scenario {
+
+namespace {
+
+// Stream tags for the scenario seed splits (arbitrary, fixed forever —
+// changing one re-rolls every checked-in scenario golden).
+constexpr std::uint64_t kPhaseStream = 0xFA5E;
+constexpr std::uint64_t kChainStream = 0x3A7E;
+constexpr std::uint64_t kChurnStream = 0xC0FFEE;
+
+// Horizon cap for next_available_time: with on_probability > 0 the chain
+// turns on in a handful of periods with overwhelming probability; hitting
+// the cap means the model (not the scenario) is broken.
+constexpr std::size_t kMaxPeriodScan = 1 << 16;
+
+}  // namespace
+
+AvailabilityModel::AvailabilityModel(std::optional<AvailabilityConfig> cfg,
+                                     std::uint64_t seed, std::size_t clients)
+    : cfg_(std::move(cfg)), seed_(seed) {
+  if (!cfg_.has_value()) return;
+  phase_.resize(clients);
+  chain_rng_.reserve(clients);
+  chain_.resize(clients);
+  const tensor::Rng base(seed_);
+  for (std::size_t k = 0; k < clients; ++k) {
+    tensor::Rng phase_rng = base.split(kPhaseStream).split(k);
+    phase_[k] = phase_rng.uniform() * cfg_->period_seconds;
+    chain_rng_.push_back(base.split(kChainStream).split(k));
+  }
+}
+
+bool AvailabilityModel::period_on(std::size_t client, std::size_t period) {
+  if (!cfg_.has_value()) return true;
+  FEDBIAD_CHECK(client < chain_.size(), "availability: client out of range");
+  std::vector<std::uint8_t>& chain = chain_[client];
+  // Extend the chain sequentially from its own rng stream; states are
+  // cached so random-access queries replay identically.
+  while (chain.size() <= period) {
+    FEDBIAD_CHECK(chain.size() < kMaxPeriodScan,
+                  "availability: period horizon exceeded");
+    const double u = chain_rng_[client].uniform();
+    const double p_on = cfg_->on_probability;
+    double p;
+    if (chain.empty()) {
+      p = p_on;  // stationary start
+    } else if (chain.back() != 0) {
+      p = cfg_->correlation + (1.0 - cfg_->correlation) * p_on;
+    } else {
+      p = (1.0 - cfg_->correlation) * p_on;
+    }
+    chain.push_back(u < p ? 1 : 0);
+  }
+  return chain[period] != 0;
+}
+
+double AvailabilityModel::phase_seconds(std::size_t client) const {
+  if (!cfg_.has_value()) return 0.0;
+  FEDBIAD_CHECK(client < phase_.size(), "availability: client out of range");
+  return phase_[client];
+}
+
+bool AvailabilityModel::available(std::size_t client, double t) {
+  if (!cfg_.has_value()) return true;
+  FEDBIAD_CHECK(t >= 0.0, "availability: negative time");
+  const double T = cfg_->period_seconds;
+  const auto period = static_cast<std::size_t>(t / T);
+  if (!period_on(client, period)) return false;
+  const double pos = t - static_cast<double>(period) * T;
+  const double start = phase_[client];
+  const double width = cfg_->window_fraction * T;
+  const double end = start + width;
+  // The window lives on the period circle: wrap when phase + width
+  // overflows the period boundary.
+  if (end <= T) return pos >= start && pos < end;
+  return pos >= start || pos < end - T;
+}
+
+double AvailabilityModel::next_available_time(std::size_t client, double t) {
+  if (!cfg_.has_value()) return t;
+  if (available(client, t)) return t;
+  const double T = cfg_->period_seconds;
+  const double start = phase_[client];
+  const double end = start + cfg_->window_fraction * T;
+  const auto first_period = static_cast<std::size_t>(t / T);
+  for (std::size_t p = first_period; p < first_period + kMaxPeriodScan; ++p) {
+    if (!period_on(client, p)) continue;
+    const double base = static_cast<double>(p) * T;
+    // Absolute on-intervals of period p, ascending: one interval for a
+    // plain window, two for a window wrapping the period boundary (the
+    // spill-over [base, base + end - T) comes first).
+    double iv[2][2];
+    int n = 0;
+    if (end <= T) {
+      iv[n][0] = base + start;
+      iv[n][1] = base + end;
+      ++n;
+    } else {
+      iv[n][0] = base;
+      iv[n][1] = base + (end - T);
+      ++n;
+      iv[n][0] = base + start;
+      iv[n][1] = base + T;
+      ++n;
+    }
+    for (int i = 0; i < n; ++i) {
+      if (iv[i][1] <= t) continue;  // already over
+      double cand = std::max(iv[i][0], t);
+      // FP guard: cand is assembled as base + start while available()
+      // recomputes the in-period position by subtraction, so the two can
+      // disagree by an ulp at the window edge. The engine CHECKs that a
+      // retry strictly advances the clock, so nudge across the mismatch
+      // (windows are vastly wider than an ulp).
+      for (int g = 0; g < 4 && !available(client, cand); ++g) {
+        cand = std::nextafter(cand, std::numeric_limits<double>::infinity());
+      }
+      FEDBIAD_CHECK(available(client, cand),
+                    "availability: window edge not reachable");
+      return cand;
+    }
+  }
+  FEDBIAD_CHECK(false, "availability: no on-window within the scan horizon");
+  return t;  // unreachable
+}
+
+ChurnInjector::ChurnInjector(std::optional<ChurnConfig> cfg,
+                             std::uint64_t seed)
+    : cfg_(std::move(cfg)), base_(tensor::Rng(seed).split(kChurnStream)) {}
+
+fl::ChurnDecision ChurnInjector::decide(std::size_t client,
+                                        std::size_t dispatch_seq) const {
+  fl::ChurnDecision out;
+  if (!cfg_.has_value() || cfg_->failure_rate <= 0.0) return out;
+  tensor::Rng draw = base_.split(client).split(dispatch_seq);
+  out.fails = draw.uniform() < cfg_->failure_rate;
+  out.fraction = draw.uniform();
+  return out;
+}
+
+namespace {
+
+class ScenarioHooks final : public fl::EngineHooks {
+ public:
+  ScenarioHooks(const Config& cfg, std::size_t clients)
+      : availability_(cfg.availability, cfg.seed, clients),
+        churn_(cfg.churn, cfg.seed),
+        deadline_(cfg.deadline_seconds, cfg.over_selection) {}
+
+  [[nodiscard]] bool client_available(std::size_t client,
+                                      double now) override {
+    return availability_.available(client, now);
+  }
+
+  [[nodiscard]] double next_available_time(std::size_t client,
+                                           double now) override {
+    return availability_.next_available_time(client, now);
+  }
+
+  [[nodiscard]] fl::ChurnDecision churn(std::size_t client,
+                                        std::size_t dispatch_seq) override {
+    return churn_.decide(client, dispatch_seq);
+  }
+
+  [[nodiscard]] double deadline_seconds() const override {
+    return deadline_.deadline_seconds();
+  }
+
+  [[nodiscard]] double over_selection() const override {
+    return deadline_.over_selection();
+  }
+
+ private:
+  AvailabilityModel availability_;
+  ChurnInjector churn_;
+  DeadlinePolicy deadline_;
+};
+
+}  // namespace
+
+std::shared_ptr<fl::EngineHooks> make_engine_hooks(const Config& cfg,
+                                                   std::size_t clients) {
+  cfg.validate();
+  return std::make_shared<ScenarioHooks>(cfg, clients);
+}
+
+}  // namespace fedbiad::scenario

@@ -1,0 +1,89 @@
+// Runtime models behind a scenario::Config: the AvailabilityModel /
+// ChurnInjector / DeadlinePolicy trio, plus the fl::EngineHooks adapter
+// that plugs them into the event-driven engine.
+//
+// Determinism contract (the one the engine's thread-count-invariance tests
+// pin): every draw is a pure function of (scenario seed, client, index) via
+// split Rng streams — availability phases are keyed by client, the Markov
+// participation chain by (client, period) with a sequential per-client
+// stream, and churn by (client, global dispatch sequence). No model
+// consults the wall clock or the engine's selection rng, so adding a
+// scenario never perturbs the engine's own draw sequence, and the empty
+// scenario is bit-identical to running with no scenario at all.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fl/engine_hooks.hpp"
+#include "scenario/config.hpp"
+#include "tensor/rng.hpp"
+
+namespace fedbiad::scenario {
+
+/// Diurnal windows gated by a correlated per-period Markov chain. With no
+/// AvailabilityConfig the model is trivially always-on.
+class AvailabilityModel {
+ public:
+  AvailabilityModel(std::optional<AvailabilityConfig> cfg, std::uint64_t seed,
+                    std::size_t clients);
+
+  /// Is `client` dispatchable at virtual time `t`?
+  [[nodiscard]] bool available(std::size_t client, double t);
+
+  /// Earliest t' >= t with available(client, t'). Throws CheckError if the
+  /// chain stays off for an implausible horizon (validation keeps
+  /// on_probability > 0, so this only fires on internal errors).
+  [[nodiscard]] double next_available_time(std::size_t client, double t);
+
+  /// Whether the participation chain says `client` is on in period k
+  /// (window position not considered). Exposed for tests.
+  [[nodiscard]] bool period_on(std::size_t client, std::size_t period);
+
+  /// This client's window start offset within the period, in seconds.
+  [[nodiscard]] double phase_seconds(std::size_t client) const;
+
+ private:
+  std::optional<AvailabilityConfig> cfg_;
+  std::uint64_t seed_ = 0;
+  std::vector<double> phase_;              ///< per client, in [0, period)
+  std::vector<tensor::Rng> chain_rng_;     ///< per client, sequential
+  std::vector<std::vector<std::uint8_t>> chain_;  ///< computed states
+};
+
+/// Per-dispatch mid-round failure draws, stateless in (client, seq).
+class ChurnInjector {
+ public:
+  ChurnInjector(std::optional<ChurnConfig> cfg, std::uint64_t seed);
+
+  [[nodiscard]] fl::ChurnDecision decide(std::size_t client,
+                                         std::size_t dispatch_seq) const;
+
+ private:
+  std::optional<ChurnConfig> cfg_;
+  tensor::Rng base_;
+};
+
+/// Round cutoff: the upload deadline (virtual seconds from dispatch) and
+/// the over-selection factor that hedges against the resulting losses.
+class DeadlinePolicy {
+ public:
+  DeadlinePolicy(double deadline_seconds, double over_selection)
+      : deadline_seconds_(deadline_seconds),
+        over_selection_(over_selection) {}
+
+  [[nodiscard]] double deadline_seconds() const { return deadline_seconds_; }
+  [[nodiscard]] double over_selection() const { return over_selection_; }
+
+ private:
+  double deadline_seconds_ = 0.0;
+  double over_selection_ = 1.0;
+};
+
+/// Builds the EngineHooks adapter for a validated Config. `clients` is the
+/// partition size (availability phases are per-client state).
+std::shared_ptr<fl::EngineHooks> make_engine_hooks(const Config& cfg,
+                                                   std::size_t clients);
+
+}  // namespace fedbiad::scenario

@@ -28,6 +28,10 @@ struct GoldenRound {
   std::uint64_t uplink_max = 0;
   std::uint64_t downlink = 0;
   std::size_t participants = 0;
+  // Scenario accounting; absent in pre-scenario golden files (defaults 0,
+  // which is also what a hook-free engine reports).
+  std::size_t abandoned = 0;
+  std::uint64_t wasted_uplink = 0;
 };
 
 struct GoldenTrace {
@@ -52,6 +56,8 @@ inline GoldenTrace to_trace(const fl::SimulationResult& result,
     g.uplink_max = r.uplink_bytes_max;
     g.downlink = r.downlink_bytes;
     g.participants = r.participants;
+    g.abandoned = r.abandoned;
+    g.wasted_uplink = r.wasted_uplink_bytes;
     trace.rounds.push_back(g);
   }
   return trace;
@@ -79,7 +85,9 @@ inline void write_golden(const std::string& path, const GoldenTrace& trace) {
        << ", \"uplink_total\": " << r.uplink_total
        << ", \"uplink_max\": " << r.uplink_max
        << ", \"downlink\": " << r.downlink
-       << ", \"participants\": " << r.participants << "}"
+       << ", \"participants\": " << r.participants
+       << ", \"abandoned\": " << r.abandoned
+       << ", \"wasted_uplink\": " << r.wasted_uplink << "}"
        << (i + 1 < trace.rounds.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
@@ -184,6 +192,10 @@ class GoldenParser {
           r.downlink = static_cast<std::uint64_t>(v);
         } else if (key == "participants") {
           r.participants = static_cast<std::size_t>(v);
+        } else if (key == "abandoned") {
+          r.abandoned = static_cast<std::size_t>(v);
+        } else if (key == "wasted_uplink") {
+          r.wasted_uplink = static_cast<std::uint64_t>(v);
         } else {
           throw std::runtime_error("golden: unknown round key " + key);
         }

@@ -33,10 +33,16 @@
 #include "fl/async_simulation.hpp"
 #include "fl/simulation.hpp"
 #include "golden_util.hpp"
+#include "netsim/client_profile.hpp"
 #include "nn/mlp_model.hpp"
+#include "scenario/config.hpp"
+#include "scenario/model.hpp"
 
 #ifndef FEDBIAD_GOLDEN_DIR
 #error "FEDBIAD_GOLDEN_DIR must point at tests/golden"
+#endif
+#ifndef FEDBIAD_SCENARIO_DIR
+#error "FEDBIAD_SCENARIO_DIR must point at tests/scenarios"
 #endif
 
 namespace fedbiad::testing {
@@ -163,6 +169,10 @@ void expect_matches(const GoldenTrace& actual, const GoldenTrace& golden) {
     expect_near_rel(a.test_loss, g.test_loss, "test_loss", g.round);
     expect_near_rel(a.top1, g.top1, "top1", g.round);
     expect_near_rel(a.topk, g.topk, "topk", g.round);
+    // Scenario accounting is integral and deterministic: exact, and 0 in
+    // every pre-scenario golden (hook-free engines report 0 too).
+    EXPECT_EQ(a.abandoned, g.abandoned) << "round " << g.round;
+    EXPECT_EQ(a.wasted_uplink, g.wasted_uplink) << "round " << g.round;
   }
 }
 
@@ -234,6 +244,73 @@ INSTANTIATE_TEST_SUITE_P(AllStrategies, GoldenSuite,
                            }
                            return n;
                          });
+
+// --- Scenario goldens -----------------------------------------------------
+//
+// The same fixture run through the event-driven engine under a checked-in
+// scenario config (heterogeneous fleet, barrier mode): pins the full
+// churn/deadline trajectory — including the abandoned/wasted ledger — at
+// kRelTol. Regenerate with FEDBIAD_UPDATE_GOLDEN=1 like the plain goldens.
+
+struct ScenarioGoldenCase {
+  const char* strategy;
+  const char* scenario;
+};
+
+netsim::HeterogeneityConfig golden_fleet() {
+  netsim::HeterogeneityConfig h;
+  h.compute_spread = 6.0;
+  h.bandwidth_spread = 3.0;
+  h.straggler_fraction = 0.3;
+  h.straggler_multiplier = 4.0;
+  return h;
+}
+
+std::string scenario_golden_path(const ScenarioGoldenCase& c) {
+  std::string slug;
+  for (const char* p = c.strategy; *p != '\0'; ++p) {
+    const auto u = static_cast<unsigned char>(*p);
+    slug.push_back(std::isalnum(u) ? static_cast<char>(std::tolower(u)) : '_');
+  }
+  return std::string(FEDBIAD_GOLDEN_DIR) + "/scenario_" + slug + "_" +
+         c.scenario + ".json";
+}
+
+class ScenarioGoldenSuite
+    : public ::testing::TestWithParam<ScenarioGoldenCase> {};
+
+TEST_P(ScenarioGoldenSuite, BarrierScenarioMatchesGolden) {
+  const ScenarioGoldenCase c = GetParam();
+  Scenario sc = make_scenario();
+  const scenario::Config cfg = scenario::Config::load(
+      std::string(FEDBIAD_SCENARIO_DIR) + "/" + c.scenario + ".json");
+  fl::AsyncSimulationConfig acfg;
+  acfg.base = sc.sim;
+  acfg.mode = fl::AggregationMode::kBarrier;
+  acfg.heterogeneity = golden_fleet();
+  acfg.hooks = scenario::make_engine_hooks(cfg, sc.partition.size());
+  acfg.scenario_name = cfg.name;
+  fl::AsyncSimulation sim(acfg, sc.factory, sc.train, sc.test, sc.partition,
+                          make_strategy(c.strategy, sc));
+  const auto trace = to_trace(sim.run(), cfg.name);
+  const std::string path = scenario_golden_path(c);
+  if (update_mode()) {
+    write_golden(path, trace);
+    SUCCEED() << "regenerated " << path;
+    return;
+  }
+  expect_matches(trace, read_golden(path));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChurnAndDeadline, ScenarioGoldenSuite,
+    ::testing::Values(ScenarioGoldenCase{"FedAvg", "churn_heavy"},
+                      ScenarioGoldenCase{"FedAvg", "deadline_tight"},
+                      ScenarioGoldenCase{"FedBIAD", "churn_heavy"},
+                      ScenarioGoldenCase{"FedBIAD", "deadline_tight"}),
+    [](const auto& info) {
+      return std::string(info.param.strategy) + "_" + info.param.scenario;
+    });
 
 }  // namespace
 }  // namespace fedbiad::testing
