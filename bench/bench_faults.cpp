@@ -1,0 +1,210 @@
+// Fault-injection bench: the engine under wire corruption, duplicate
+// deliveries, and retry/backoff, plus the cost of crash-safe checkpointing.
+//
+// Matrix: corruption probability {0, 0.05, 0.2} × {FedAvg, FedBIAD} on the
+// MNIST-like workload over the heterogeneous fleet, barrier mode, CRC32C
+// framing on every upload, duplicates at 2%, retry budget 3 with seeded
+// exponential backoff. Every cell also snapshots the full server state
+// after each commit, and the snapshot write cost is timed separately
+// (mean of 5 rewrites of the final snapshot).
+//
+// Per cell: engine throughput (rounds/s of wall time, checkpoint writes
+// included), best accuracy, the fraction of dispatches terminally rejected,
+// rejected deliveries/bytes (failed attempts and dropped duplicates), and
+// the checkpoint write time and file size. With FEDBIAD_JSON=<path> set it
+// emits the machine-readable summary checked in as BENCH_faults.json
+// (schema in bench/README.md).
+//
+//   $ ./build/bench/bench_faults            # full length
+//   $ ./build/bench/bench_faults --smoke    # 4 rounds per cell (CI)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "checkpoint/checkpoint.hpp"
+#include "common.hpp"
+#include "scenario/config.hpp"
+#include "scenario/model.hpp"
+
+namespace {
+
+struct CellResult {
+  std::string method;
+  double corruption = 0.0;
+  double best_acc = 0.0;
+  double rounds_per_second = 0.0;
+  std::size_t dispatched = 0;
+  std::size_t rejected_dispatches = 0;
+  double rejected_dispatch_fraction = 0.0;
+  std::size_t rejected_deliveries = 0;
+  std::uint64_t rejected_bytes = 0;
+  double ckpt_write_seconds = 0.0;
+  std::uint64_t ckpt_bytes = 0;
+};
+
+void write_json(const std::string& path, const std::vector<CellResult>& cells,
+                double scale, bool smoke) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "bench_faults: cannot write %s\n", path.c_str());
+    return;
+  }
+  auto num = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return std::string(buf);
+  };
+  os << "{\n";
+  os << "  \"bench\": \"faults\",\n";
+  os << "  \"schema_version\": 1,\n";
+  os << "  \"scale\": " << num(scale) << ",\n";
+  os << "  \"seed\": 42,\n";
+  os << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  os << "  \"series\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    os << "    {\"dataset\": \"MNIST\", \"method\": \"" << c.method
+       << "\", \"corruption_probability\": " << num(c.corruption) << ",\n";
+    os << "     \"summary\": {\"best_acc\": " << num(c.best_acc)
+       << ", \"rounds_per_second\": " << num(c.rounds_per_second)
+       << ", \"dispatched\": " << c.dispatched
+       << ", \"rejected_dispatches\": " << c.rejected_dispatches << ",\n";
+    os << "      \"rejected_dispatch_fraction\": "
+       << num(c.rejected_dispatch_fraction)
+       << ", \"rejected_deliveries\": " << c.rejected_deliveries
+       << ", \"rejected_bytes\": " << c.rejected_bytes << ",\n";
+    os << "      \"ckpt_write_seconds\": " << num(c.ckpt_write_seconds)
+       << ", \"ckpt_bytes\": " << c.ckpt_bytes << "}}"
+       << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+std::string faults_json(double corruption) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf, R"({
+    "name": "bench_faults", "seed": 77,
+    "faults": {
+      "corruption_probability": %g, "corruption_mode": "bit_flip",
+      "duplicate_probability": 0.02,
+      "retry": {"max_attempts": 3, "backoff_seconds": 0.5,
+                "backoff_multiplier": 2.0, "jitter_fraction": 0.25}
+    }
+  })",
+                corruption);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fedbiad;
+  using namespace fedbiad::bench;
+  namespace fs = std::filesystem;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const std::vector<double> corruption_levels{0.0, 0.05, 0.2};
+  const std::vector<std::string> methods{"FedAvg", "FedBIAD"};
+
+  Workload w = make_workload(DatasetId::kMnist);
+  w.sim.eval_every = 1;
+  if (smoke) w.sim.rounds = 4;
+  const auto fleet = make_heterogeneity();
+  const fs::path scratch =
+      fs::temp_directory_path() / "fedbiad_bench_faults";
+
+  std::printf("=== Fault injection: CRC framing, retry/backoff, duplicates, "
+              "checkpoint every round ===\n");
+  std::printf("(%zu rounds per cell; duplicates at 2%%, retry budget 3, "
+              "bit-flip corruption at the listed rate)\n\n",
+              w.sim.rounds);
+  std::printf("%-9s %-7s  best_acc  rounds/s  rej_disp  rej_deliv  "
+              "rej_bytes  ckpt_write  ckpt_size\n",
+              "method", "corrupt");
+
+  std::vector<CellResult> cells;
+  for (const auto& m : methods) {
+    for (const double p : corruption_levels) {
+      const scenario::Config cfg = scenario::Config::from_json(faults_json(p));
+      const fs::path ckpt_dir =
+          scratch / (m + "_p" + std::to_string(int(p * 100)));
+      fs::remove_all(ckpt_dir);
+      fl::AsyncSimulationConfig acfg;
+      acfg.base = w.sim;
+      acfg.mode = fl::AggregationMode::kBarrier;
+      acfg.heterogeneity = fleet;
+      acfg.hooks = scenario::make_engine_hooks(cfg, w.partition.size());
+      acfg.scenario_name = cfg.name;
+      acfg.checkpoint.directory = ckpt_dir.string();
+      acfg.checkpoint.every_rounds = 1;
+      acfg.checkpoint.keep = 2;
+      fl::AsyncSimulation sim(acfg, w.factory, w.train, w.test, w.partition,
+                              make_strategy(m, w));
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto result = sim.run();
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+
+      CellResult c;
+      c.method = m;
+      c.corruption = p;
+      c.best_acc = result.best_accuracy(w.topk_metric);
+      c.rounds_per_second =
+          static_cast<double>(result.rounds.size()) / std::max(wall, 1e-9);
+      c.dispatched = result.total_dispatched;
+      c.rejected_dispatches = result.total_rejected;
+      c.rejected_dispatch_fraction =
+          c.dispatched == 0
+              ? 0.0
+              : static_cast<double>(c.rejected_dispatches) /
+                    static_cast<double>(c.dispatched);
+      c.rejected_deliveries = result.total_rejected_deliveries;
+      c.rejected_bytes = result.total_rejected_bytes;
+
+      // Checkpoint write cost: rewrite the run's final snapshot 5 times
+      // into a scratch dir and take the mean.
+      if (const auto latest = checkpoint::find_latest_valid(ckpt_dir)) {
+        const auto snap = checkpoint::read_snapshot(*latest);
+        c.ckpt_bytes = fs::file_size(*latest);
+        const fs::path rewrite_dir = ckpt_dir / "rewrite";
+        const auto w0 = std::chrono::steady_clock::now();
+        for (int k = 0; k < 5; ++k) {
+          checkpoint::write_snapshot(rewrite_dir.string(), snap);
+        }
+        c.ckpt_write_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          w0)
+                .count() /
+            5.0;
+      }
+      fs::remove_all(ckpt_dir);
+      cells.push_back(c);
+
+      std::printf(
+          "%-9s %6.0f%%  %7.2f%%  %8.2f  %8.2f%%  %9zu  %9llu  %8.2fms  "
+          "%8llu\n",
+          m.c_str(), 100.0 * p, 100.0 * c.best_acc, c.rounds_per_second,
+          100.0 * c.rejected_dispatch_fraction, c.rejected_deliveries,
+          static_cast<unsigned long long>(c.rejected_bytes),
+          1e3 * c.ckpt_write_seconds,
+          static_cast<unsigned long long>(c.ckpt_bytes));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  if (const char* path = std::getenv("FEDBIAD_JSON")) {
+    write_json(path, cells, env_scale(), smoke);
+    std::printf("wrote %s (%zu cells)\n", path, cells.size());
+  }
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Crash-safe checkpoint/resume of the event-driven engine.
+//
+// A snapshot freezes the full server state at a commit boundary — the one
+// quiescent point of the event loop: the aggregator's buffer is empty, the
+// zombie list is drained, the per-round counters have just been folded into
+// a RoundRecord, and every in-flight job's real computation has completed
+// (its *virtual* delivery may still be pending). What remains live is
+// exactly what the snapshot carries: the global model, the selection rng
+// mid-sequence, the run ledgers, the round log, the strategy's cross-round
+// state, the in-flight jobs with their completed outcomes, and the pending
+// timeline events in original scheduler-id order (the id order is the tie
+// break for equal-time events, so resume must re-schedule in that order to
+// reproduce the interleaving bit for bit).
+//
+// In-flight training is serialized as its *completed outcome* — the encoded
+// payload bytes — never re-run on resume: run_client mutates per-client
+// strategy state (FedBIAD's weight scores), so replaying it would apply
+// that mutation twice.
+//
+// File format: "FBCK" magic, u32 format version, u64 body length, body,
+// u32 CRC32C of the body. Files are written to <dir>/.tmp-<name>, fsynced,
+// and renamed into place, so a crash mid-write leaves either the previous
+// snapshot set or a torn .tmp that find_latest_valid() never considers; a
+// torn or bit-rotted .fbck fails its CRC and is skipped in favour of the
+// newest snapshot that verifies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fl/metrics.hpp"
+#include "tensor/rng.hpp"
+#include "wire/update_codec.hpp"
+
+namespace fedbiad::checkpoint {
+
+/// Engine-side configuration: where snapshots go, how often, and whether
+/// run() should look for one to resume from before starting fresh.
+struct CheckpointConfig {
+  std::string directory;          ///< empty = checkpointing disabled
+  std::size_t every_rounds = 1;   ///< snapshot every k-th commit
+  bool resume = false;            ///< resume from the latest valid snapshot
+  std::size_t keep = 2;           ///< snapshots retained after each write
+
+  [[nodiscard]] bool enabled() const { return !directory.empty(); }
+};
+
+/// One in-flight dispatch: identification, virtual timing, the scenario
+/// draws already made for it, and its completed training outcome.
+struct JobSnapshot {
+  std::uint64_t client = 0;
+  std::uint64_t slot = 0;
+  std::uint64_t version = 0;
+  std::uint64_t dispatch_index = 0;  ///< global dispatch counter at dispatch
+  std::uint64_t attempt = 1;         ///< delivery attempt (fault sessions)
+  double dispatch_clock = 0.0;
+  double download_seconds = 0.0;
+  double compute_seconds = 0.0;
+  double upload_start = 0.0;
+  bool churn_fails = false;
+  double churn_fraction = 0.0;
+  /// Whether the training event already ran (the upload is in flight, with
+  /// a delivery/abandon event pending) — on resume the PendingUpdate is
+  /// rebuilt; otherwise the outcome waits behind a ready future for the
+  /// training event to consume.
+  bool has_pending = false;
+  // Completed ClientOutcome (pre-decode: the payload still encoded, sealed
+  // iff has_pending in a fault session).
+  std::uint64_t samples = 0;
+  bool is_update = false;
+  wire::Payload payload;
+  double train_seconds = 0.0;
+  double mean_loss = 0.0;
+  double last_loss = 0.0;
+};
+
+enum class EventKind : std::uint8_t {
+  kTraining = 0,      ///< on_training_done(job)
+  kDelivery = 1,      ///< upload arrival / fault-path delivery inspection
+  kChurnAbandon = 2,  ///< mid-upload churn death; aux = wasted bytes
+  kDeadline = 3,      ///< upload deadline cutoff
+  kDuplicate = 4,     ///< stray duplicate delivery; aux = its wire bytes
+};
+
+/// Sentinel job index for events not attached to an in-flight job
+/// (duplicate deliveries outlive their dispatch's resolution).
+inline constexpr std::uint64_t kNoJob = ~std::uint64_t{0};
+
+struct EventSnapshot {
+  EventKind kind = EventKind::kTraining;
+  std::uint64_t job_index = kNoJob;  ///< index into EngineSnapshot::jobs
+  double time = 0.0;                 ///< absolute virtual time
+  std::uint64_t aux = 0;
+};
+
+/// The complete engine state at a commit boundary.
+struct EngineSnapshot {
+  // Identity guard: a snapshot resumes only the run that wrote it.
+  std::string engine;            ///< aggregation-mode string
+  std::uint64_t seed = 0;
+  std::uint64_t rounds_target = 0;
+  std::uint64_t param_count = 0;
+
+  double clock = 0.0;            ///< virtual time of the commit
+  std::uint64_t version = 0;     ///< commits done (also the snapshot's name)
+  std::uint64_t dispatched = 0;
+  tensor::Rng::State rng;        ///< engine selection stream, mid-sequence
+
+  // Whole-run ledgers (the round-scoped counters are 0 at a commit).
+  std::uint64_t committed = 0;
+  std::uint64_t abandoned = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t rejected_deliveries = 0;
+  std::uint64_t wasted_uplink_bytes = 0;
+  std::uint64_t rejected_bytes = 0;
+
+  std::vector<float> global;             ///< the committed global model
+  std::vector<fl::RoundRecord> rounds;   ///< the round log so far
+  std::vector<std::uint8_t> strategy_state;  ///< Strategy::save_state blob
+  std::vector<JobSnapshot> jobs;         ///< in-flight, ascending client id
+  std::vector<EventSnapshot> events;     ///< pending, original-id order
+};
+
+/// Serializes `snap` to `directory`/ckpt-<version>.fbck atomically
+/// (tmp + fsync + rename). Creates the directory if needed. Throws
+/// CheckError on I/O failure.
+void write_snapshot(const std::string& directory, const EngineSnapshot& snap);
+
+/// Parses a snapshot file. Throws wire::DecodeError when the file is torn,
+/// truncated, or fails its CRC; CheckError when unreadable.
+[[nodiscard]] EngineSnapshot read_snapshot(const std::string& path);
+
+/// All ckpt-*.fbck paths in `directory`, ascending by version (no
+/// validation). Empty when the directory does not exist.
+[[nodiscard]] std::vector<std::string> list_snapshots(
+    const std::string& directory);
+
+/// Newest snapshot in `directory` that parses and passes its CRC — torn and
+/// corrupt files are skipped, so resume falls back to the last good one.
+/// nullopt when none verifies.
+[[nodiscard]] std::optional<std::string> find_latest_valid(
+    const std::string& directory);
+
+/// Deletes all but the newest `keep` snapshots (by version).
+void prune(const std::string& directory, std::size_t keep);
+
+}  // namespace fedbiad::checkpoint

@@ -8,6 +8,8 @@
 #include "core/loss_trend.hpp"
 #include "nn/optimizer.hpp"
 #include "tensor/ops.hpp"
+#include "wire/reader.hpp"
+#include "wire/writer.hpp"
 
 namespace fedbiad::core {
 
@@ -76,6 +78,36 @@ FedBiadStrategy::FedBiadStrategy(FedBiadConfig cfg, RowFilter eligible)
 const WeightScoreVector* FedBiadStrategy::client_scores(
     std::size_t client_id) {
   return scores_.find(client_id);
+}
+
+std::vector<std::uint8_t> FedBiadStrategy::save_state() const {
+  // varint client count, then per client (ascending id): varint id,
+  // varint rows, f64 scores. Ascending order keeps the blob — and the
+  // snapshot CRC over it — independent of hash-map iteration order.
+  wire::Writer w;
+  w.varint(scores_.size());
+  scores_.for_each_sorted([&w](std::size_t id, const WeightScoreVector& v) {
+    w.varint(id);
+    w.varint(v.rows());
+    for (std::size_t j = 0; j < v.rows(); ++j) w.f64(v.score(j));
+  });
+  return std::move(w).take();
+}
+
+void FedBiadStrategy::load_state(std::span<const std::uint8_t> bytes) {
+  FEDBIAD_CHECK(scores_.size() == 0,
+                "FedBIAD state restore requires a fresh strategy");
+  wire::Reader r(bytes);
+  const std::uint64_t clients = r.varint();
+  for (std::uint64_t k = 0; k < clients; ++k) {
+    const auto id = static_cast<std::size_t>(r.varint());
+    const auto rows = static_cast<std::size_t>(r.varint());
+    std::vector<double> scores(rows);
+    for (std::size_t j = 0; j < rows; ++j) scores[j] = r.f64();
+    scores_.get_or_create(
+        id, [&scores] { return WeightScoreVector(std::move(scores)); });
+  }
+  r.expect_done();
 }
 
 double FedBiadStrategy::effective_posterior_variance(

@@ -59,6 +59,12 @@ class FedBiadStrategy final : public fl::Strategy {
   /// Weight scores of a client, if it has participated (test hook).
   [[nodiscard]] const WeightScoreVector* client_scores(std::size_t client_id);
 
+  /// Checkpoints the weight-score store E^k — the only cross-round server
+  /// state FedBIAD keeps. Without it a resumed stage-two run would rebuild
+  /// patterns from empty scores and diverge from the uninterrupted run.
+  [[nodiscard]] std::vector<std::uint8_t> save_state() const override;
+  void load_state(std::span<const std::uint8_t> bytes) override;
+
   /// The posterior variance a client with `samples` data points uses at
   /// round `round` (eq. 13 applied to m = r·V·|D_k|).
   [[nodiscard]] double effective_posterior_variance(

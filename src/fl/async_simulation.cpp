@@ -197,6 +197,9 @@ AsyncSimulation::AsyncSimulation(AsyncSimulationConfig cfg,
   FEDBIAD_CHECK(cfg_.staleness.exponent >= 0.0,
                 "staleness exponent must be non-negative");
   FEDBIAD_CHECK(cfg_.buffer_size > 0, "buffer size must be positive");
+  FEDBIAD_CHECK(!cfg_.checkpoint.enabled() || (cfg_.checkpoint.every_rounds > 0 &&
+                                               cfg_.checkpoint.keep > 0),
+                "checkpoint cadence and retention must be positive");
 }
 
 SimulationResult AsyncSimulation::run() {
@@ -232,6 +235,13 @@ SimulationResult AsyncSimulation::run() {
                                   hooks->over_selection()))))
           : select;
   const double deadline = scenario ? hooks->deadline_seconds() : 0.0;
+  // Transport faults: with a faults block configured every upload is CRC
+  // framed, deliveries can corrupt/truncate/duplicate, and corrupt frames
+  // are retried under the scenario's backoff policy. Disabled, the delivery
+  // path below is byte-identical to the fault-free engine.
+  const bool faulty = scenario && hooks->faults_enabled();
+  const RetryPolicy retry_policy = faulty ? hooks->retry_policy() : RetryPolicy{};
+  const checkpoint::CheckpointConfig& ckpt = cfg_.checkpoint;
 
   // Profiles come from a split of the base seed, not from `rng`: the main
   // selection stream must consume exactly the same draws as the sync engine
@@ -267,7 +277,9 @@ SimulationResult AsyncSimulation::run() {
     /// Global params at dispatch — shared by every job of the same version
     /// (the global only changes at commits, so one copy per version).
     std::shared_ptr<const std::vector<float>> snapshot;
-    std::future<ClientOutcome> future;
+    // shared_future so checkpointing can peek at the completed outcome
+    // without consuming the shared state the training event still needs.
+    std::shared_future<ClientOutcome> future;
     std::unique_ptr<PendingUpdate> pending;  ///< set once the upload starts
     // Scenario state (inert without hooks): the per-dispatch churn draw,
     // when the upload started (wasted-byte accounting at the deadline), and
@@ -280,6 +292,19 @@ SimulationResult AsyncSimulation::run() {
     EventScheduler::EventId training_event = EventScheduler::kNoEvent;
     EventScheduler::EventId arrival_event = EventScheduler::kNoEvent;
     EventScheduler::EventId deadline_event = EventScheduler::kNoEvent;
+    // Fault/checkpoint state: the global dispatch counter at dispatch (the
+    // key every fault draw is made under), the 1-based delivery attempt,
+    // absolute times of the pending arrival/duplicate events (checkpoints
+    // store absolute times, so they are kept rather than re-derived), the
+    // churn-abandon wasted bytes, and the sealed frame size a pending
+    // duplicate delivery will be charged at.
+    std::size_t dispatch_index = 0;
+    std::size_t attempt = 1;
+    double arrival_time = 0.0;
+    double duplicate_time = 0.0;
+    std::uint64_t churn_wasted = 0;
+    std::uint64_t framed_bytes = 0;
+    EventScheduler::EventId duplicate_event = EventScheduler::kNoEvent;
   };
   std::deque<Job> jobs;
   std::shared_ptr<const std::vector<float>> version_snapshot;
@@ -330,6 +355,16 @@ SimulationResult AsyncSimulation::run() {
   std::uint64_t wasted_uplink_total = 0;
   std::size_t round_abandoned = 0;
   std::uint64_t round_wasted = 0;
+  // Fault ledgers. rejected_total counts dispatches whose every delivery
+  // corrupted (inside the conservation law); rejected_deliveries_total and
+  // the byte counters track individual dropped frames — failed attempts
+  // that were later retried successfully, and duplicate deliveries of
+  // committed dispatches — which live outside the law by design.
+  std::size_t rejected_total = 0;
+  std::size_t rejected_deliveries_total = 0;
+  std::uint64_t rejected_bytes_total = 0;
+  std::size_t round_rejected = 0;
+  std::uint64_t round_rejected_bytes = 0;
   std::size_t wave_outstanding = 0;  // scenario barrier: wave members unresolved
   bool retry_scheduled = false;      // one pending availability retry at most
   std::vector<Job*> zombies;         // abandoned while still training
@@ -359,6 +394,7 @@ SimulationResult AsyncSimulation::run() {
 
   // Mutually recursive engine steps: declared up front, assigned below.
   std::function<void(Job&)> on_arrival;
+  std::function<void(Job&)> deliver;
   std::function<void(Job&, std::uint64_t)> abandon_job;
   std::function<void()> finish_wave;
   std::function<void()> schedule_retry;
@@ -382,6 +418,11 @@ SimulationResult AsyncSimulation::run() {
     out.client_id = job.client;
     // The pool task is done with the snapshot; drop this job's reference.
     job.snapshot.reset();
+    if (faulty) {
+      // The CRC trailer travels with the frame, so it is sealed onto the
+      // payload *before* link timing is measured from the byte count.
+      wire::seal_payload(out.payload);
+    }
     auto up = std::make_unique<PendingUpdate>();
     up->slot = job.slot;
     up->dispatch_version = job.version;
@@ -411,18 +452,16 @@ SimulationResult AsyncSimulation::run() {
             (fail_t - sched.now()) / job.pending->upload_seconds;
         const auto wasted = static_cast<std::uint64_t>(
             static_cast<double>(job.pending->outcome.payload.size()) * frac);
+        job.arrival_time = fail_t;
+        job.churn_wasted = wasted;
         job.arrival_event = sched.schedule_at(
             fail_t, [&, jp, wasted] { abandon_job(*jp, wasted); });
       }
       return;
     }
-    job.arrival_event =
-        sched.schedule_after(job.pending->upload_seconds, [&, jp] {
-          jp->arrival_event = EventScheduler::kNoEvent;
-          jp->pending->arrival_clock = sched.now();
-          busy.erase(jp->client);
-          on_arrival(*jp);
-        });
+    job.arrival_time = sched.now() + job.pending->upload_seconds;
+    job.arrival_event = sched.schedule_after(job.pending->upload_seconds,
+                                             [&, jp] { deliver(*jp); });
   };
 
   auto on_deadline = [&](Job& job) {
@@ -452,6 +491,7 @@ SimulationResult AsyncSimulation::run() {
     job.slot = slot;
     job.version = version;
     job.dispatch_clock = sched.now();
+    job.dispatch_index = dispatched;
     if (scenario) {
       // Keyed on the global dispatch counter: a re-dispatched client gets
       // an independent draw, and the draw never touches the engine's own
@@ -514,7 +554,7 @@ SimulationResult AsyncSimulation::run() {
         free_replicas.push_back(replica);
       }
       return out;
-    });
+    }).share();
     job.training_event = sched.schedule_after(
         job.download_s + job.compute_s, [&, jp] { on_training_done(*jp); });
     if (deadline > 0.0) {
@@ -620,6 +660,108 @@ SimulationResult AsyncSimulation::run() {
     }
   };
 
+  // Delivery inspection: runs when an upload's last byte lands. Without
+  // faults it is exactly the pre-fault arrival handler. With faults it
+  // materializes the (client, dispatch, attempt)-keyed fault draw on the
+  // sealed frame: a corrupt delivery must fail the CRC check (proven, not
+  // assumed), is charged to the delivery ledger, and is either retried after
+  // seeded exponential backoff or — retry budget drained — terminally
+  // rejected, freeing the slot through the same partial-cohort path an
+  // abandoned upload uses. An intact delivery may additionally spawn a
+  // duplicate of itself; the duplicate arrives later, finds the dispatch
+  // already resolved, and is dropped (charged, never aggregated) — updates
+  // are committed at most once by construction.
+  deliver = [&](Job& job) {
+    job.arrival_event = EventScheduler::kNoEvent;
+    if (!faulty) {
+      job.pending->arrival_clock = sched.now();
+      busy.erase(job.client);
+      on_arrival(job);
+      return;
+    }
+    const DeliveryFault fault =
+        hooks->delivery_fault(job.client, job.dispatch_index, job.attempt);
+    const std::uint64_t framed = job.pending->outcome.payload.size();
+    if (fault.corrupt) {
+      // Damage a copy of the frame and prove the CRC layer rejects it —
+      // CRC32C detects every single-bit flip and every truncation the
+      // injector can produce, so a pass here would mean the frame check is
+      // broken, which is worth dying loudly over.
+      ClientOutcome probe;
+      probe.client_id = job.client;
+      probe.payload.kind = job.pending->outcome.payload.kind;
+      probe.payload.aux = job.pending->outcome.payload.aux;
+      probe.payload.bytes = job.pending->outcome.payload.bytes;
+      std::uint64_t delivered = framed;
+      if (fault.truncate) {
+        const auto cut = static_cast<std::size_t>(
+            fault.position * static_cast<double>(framed - 1));
+        probe.payload.bytes.resize(cut);
+        delivered = cut;
+      } else {
+        const auto bit = std::min<std::size_t>(
+            static_cast<std::size_t>(fault.position *
+                                     static_cast<double>(framed * 8)),
+            framed * 8 - 1);
+        probe.payload.bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+      const DecodeStatus status = try_decode_outcome(
+          *strategy_, global_model->store(), probe, /*framed=*/true,
+          DecodeContext{job.client, job.dispatch_index, sched.now()});
+      FEDBIAD_CHECK(!status.ok, "injected corruption slipped past the CRC frame");
+      ++rejected_deliveries_total;
+      rejected_bytes_total += delivered;
+      round_rejected_bytes += delivered;
+      if (job.attempt < retry_policy.max_attempts) {
+        const std::size_t attempt = job.attempt;  // the one that just failed
+        ++job.attempt;
+        double backoff =
+            retry_policy.backoff_seconds *
+            std::pow(retry_policy.backoff_multiplier,
+                     static_cast<double>(attempt - 1));
+        const double u = hooks->retry_jitter(job.client, job.dispatch_index, attempt);
+        backoff *= 1.0 + retry_policy.jitter_fraction * (2.0 * u - 1.0);
+        // The client retransmits the same frame after the backoff; the
+        // deadline event (if any) stays armed, so a retry can still be cut
+        // off and abandoned like any slow upload.
+        job.upload_start = sched.now() + backoff;
+        job.arrival_time = job.upload_start + job.pending->upload_seconds;
+        Job* jp = &job;
+        job.arrival_event =
+            sched.schedule_at(job.arrival_time, [&, jp] { deliver(*jp); });
+        return;
+      }
+      sched.cancel(job.deadline_event);
+      job.deadline_event = EventScheduler::kNoEvent;
+      job.pending.reset();
+      busy.erase(job.client);
+      ++rejected_total;
+      ++round_rejected;
+      if (barrier) {
+        FEDBIAD_CHECK(wave_outstanding > 0, "rejection outside a wave");
+        if (--wave_outstanding == 0) finish_wave();
+      } else if (version < base.rounds) {
+        top_up();
+      }
+      return;
+    }
+    if (fault.duplicate) {
+      job.framed_bytes = framed;
+      job.duplicate_time =
+          sched.now() + fault.duplicate_lag * job.pending->upload_seconds;
+      Job* dp = &job;
+      job.duplicate_event = sched.schedule_at(job.duplicate_time, [&, dp] {
+        dp->duplicate_event = EventScheduler::kNoEvent;
+        ++rejected_deliveries_total;
+        rejected_bytes_total += dp->framed_bytes;
+        round_rejected_bytes += dp->framed_bytes;
+      });
+    }
+    job.pending->arrival_clock = sched.now();
+    busy.erase(job.client);
+    on_arrival(job);
+  };
+
   schedule_retry = [&] {
     if (retry_scheduled) return;
     double t = std::numeric_limits<double>::infinity();
@@ -661,6 +803,110 @@ SimulationResult AsyncSimulation::run() {
       rec.top1 = result.rounds.back().top1;
       rec.topk = result.rounds.back().topk;
     }
+  };
+
+  // Snapshots the complete engine state. Only called from commit(), the
+  // event loop's quiescent point: the aggregator just flushed, zombies are
+  // drained, the per-round counters were folded into the RoundRecord, and
+  // every in-flight job's real computation is done (async commits block on
+  // busy futures; barrier commits only run after the wave drained). What
+  // remains live — ledgers, rng, strategy state, in-flight outcomes, and
+  // the pending timeline — is serialized; events are stored sorted by their
+  // original scheduler id so resume reproduces the equal-time tie-break.
+  auto write_checkpoint = [&] {
+    FEDBIAD_CHECK(zombies.empty() && !retry_scheduled && wave_outstanding == 0 &&
+                      aggregator->buffered() == 0,
+                  "checkpoint outside a quiescent commit boundary");
+    FEDBIAD_CHECK(round_abandoned == 0 && round_wasted == 0 &&
+                      round_rejected == 0 && round_rejected_bytes == 0,
+                  "round counters must be folded before a checkpoint");
+    checkpoint::EngineSnapshot snap;
+    snap.engine = to_string(cfg_.mode);
+    snap.seed = base.seed;
+    snap.rounds_target = base.rounds;
+    snap.param_count = n;
+    snap.clock = sched.now();
+    snap.version = version;
+    snap.dispatched = dispatched;
+    snap.rng = rng.state();
+    snap.committed = committed_total;
+    snap.abandoned = abandoned_total;
+    snap.rejected = rejected_total;
+    snap.rejected_deliveries = rejected_deliveries_total;
+    snap.wasted_uplink_bytes = wasted_uplink_total;
+    snap.rejected_bytes = rejected_bytes_total;
+    snap.global = global;
+    snap.rounds = result.rounds;
+    snap.strategy_state = strategy_->save_state();
+
+    struct PendingEvent {
+      EventScheduler::EventId id;
+      checkpoint::EventSnapshot ev;
+    };
+    std::vector<PendingEvent> events;
+    for (const auto& [client, jp] : busy) {
+      (void)client;
+      if (jp->future.valid()) jp->future.wait();
+      const std::uint64_t index = snap.jobs.size();
+      checkpoint::JobSnapshot js;
+      js.client = jp->client;
+      js.slot = jp->slot;
+      js.version = jp->version;
+      js.dispatch_index = jp->dispatch_index;
+      js.attempt = jp->attempt;
+      js.dispatch_clock = jp->dispatch_clock;
+      js.download_seconds = jp->download_s;
+      js.compute_seconds = jp->compute_s;
+      js.upload_start = jp->upload_start;
+      js.churn_fails = jp->churn_fails;
+      js.churn_fraction = jp->churn_fraction;
+      js.has_pending = jp->pending != nullptr;
+      const ClientOutcome& out =
+          js.has_pending ? jp->pending->outcome : jp->future.get();
+      js.samples = out.samples;
+      js.is_update = out.is_update;
+      js.payload = out.payload;
+      js.train_seconds = out.train_seconds;
+      js.mean_loss = out.mean_loss;
+      js.last_loss = out.last_loss;
+      snap.jobs.push_back(std::move(js));
+      if (jp->training_event != EventScheduler::kNoEvent) {
+        events.push_back(
+            {jp->training_event,
+             {checkpoint::EventKind::kTraining, index,
+              jp->dispatch_clock + (jp->download_s + jp->compute_s), 0}});
+      }
+      if (jp->arrival_event != EventScheduler::kNoEvent) {
+        events.push_back({jp->arrival_event,
+                          {jp->churn_fails ? checkpoint::EventKind::kChurnAbandon
+                                           : checkpoint::EventKind::kDelivery,
+                           index, jp->arrival_time, jp->churn_wasted}});
+      }
+      if (jp->deadline_event != EventScheduler::kNoEvent) {
+        events.push_back({jp->deadline_event,
+                          {checkpoint::EventKind::kDeadline, index,
+                           jp->dispatch_clock + deadline, 0}});
+      }
+    }
+    // Duplicate deliveries outlive their dispatch's resolution, so they are
+    // found by scanning all jobs, not just the busy ones.
+    for (const Job& job : jobs) {
+      if (job.duplicate_event != EventScheduler::kNoEvent) {
+        events.push_back({job.duplicate_event,
+                          {checkpoint::EventKind::kDuplicate, checkpoint::kNoJob,
+                           job.duplicate_time, job.framed_bytes}});
+      }
+    }
+    FEDBIAD_CHECK(events.size() == sched.pending(),
+                  "checkpoint lost track of pending events");
+    std::sort(events.begin(), events.end(),
+              [](const PendingEvent& a, const PendingEvent& b) {
+                return a.id < b.id;
+              });
+    snap.events.reserve(events.size());
+    for (const PendingEvent& pe : events) snap.events.push_back(pe.ev);
+    checkpoint::write_snapshot(ckpt.directory, snap);
+    checkpoint::prune(ckpt.directory, ckpt.keep);
   };
 
   auto commit = [&](std::vector<PendingUpdate> batch) {
@@ -727,8 +973,12 @@ SimulationResult AsyncSimulation::run() {
     rec.mean_staleness = staleness_acc / static_cast<double>(batch.size());
     rec.abandoned = round_abandoned;
     rec.wasted_uplink_bytes = round_wasted;
+    rec.rejected = round_rejected;
+    rec.rejected_bytes = round_rejected_bytes;
     round_abandoned = 0;
     round_wasted = 0;
+    round_rejected = 0;
+    round_rejected_bytes = 0;
     evaluate_into(rec);
 
     if (base.verbose) {
@@ -738,6 +988,13 @@ SimulationResult AsyncSimulation::run() {
                 << rec.uplink_bytes_total / rec.participants << "B\n";
     }
     result.rounds.push_back(rec);
+
+    // Snapshot before the next wave is selected: on resume the restored rng
+    // replays the selection below identically.
+    if (ckpt.enabled() &&
+        (version % ckpt.every_rounds == 0 || version == base.rounds)) {
+      write_checkpoint();
+    }
 
     if (version < base.rounds) {
       if (barrier) {
@@ -769,8 +1026,17 @@ SimulationResult AsyncSimulation::run() {
     // the dense values + packed presence the aggregator consumes, record the
     // measured uplink size, and drop the raw bytes. Abandoned uploads never
     // reach this point, so their bytes are only ever counted in the
-    // wasted-uplink ledger.
-    decode_outcome(*strategy_, global_model->store(), up.outcome);
+    // wasted-uplink ledger. Fault sessions decode through the non-throwing
+    // path — deliver() only forwards frames whose CRC verifies, so a
+    // failure here is engine corruption, not client noise.
+    if (faulty) {
+      const DecodeStatus status = try_decode_outcome(
+          *strategy_, global_model->store(), up.outcome, /*framed=*/true,
+          DecodeContext{job.client, job.dispatch_index, sched.now()});
+      FEDBIAD_CHECK(status.ok, status.error);
+    } else {
+      decode_outcome(*strategy_, global_model->store(), up.outcome);
+    }
     up.outcome.payload.bytes = {};
     auto batch = aggregator->offer(std::move(up));
     if (scenario && barrier) {
@@ -784,7 +1050,155 @@ SimulationResult AsyncSimulation::run() {
   };
 
   // --- timeline ---
-  if (barrier) {
+  // Resume: restore the newest valid snapshot (torn/corrupt ones are
+  // skipped), rebuild the in-flight jobs, re-schedule their events in
+  // original-id order (fresh ids are assigned ascending, so the relative
+  // order — the equal-time tie-break — is preserved, and events created by
+  // the replayed post-commit dispatch sort after them exactly as in the
+  // uninterrupted run), then replay the post-commit dispatch the snapshot
+  // was taken just before.
+  bool resumed = false;
+  if (ckpt.enabled() && ckpt.resume) {
+    if (const auto latest = checkpoint::find_latest_valid(ckpt.directory)) {
+      checkpoint::EngineSnapshot snap = checkpoint::read_snapshot(*latest);
+      FEDBIAD_CHECK(snap.engine == to_string(cfg_.mode),
+                    "snapshot was written by a different aggregation mode");
+      FEDBIAD_CHECK(snap.seed == base.seed, "snapshot seed mismatch");
+      FEDBIAD_CHECK(snap.rounds_target == base.rounds,
+                    "snapshot round target mismatch");
+      FEDBIAD_CHECK(snap.param_count == n && snap.global.size() == n,
+                    "snapshot model size mismatch");
+      FEDBIAD_CHECK(snap.version <= base.rounds && snap.version > 0,
+                    "snapshot version out of range");
+      sched.set_now(snap.clock);
+      version = snap.version;
+      dispatched = snap.dispatched;
+      rng.set_state(snap.rng);
+      committed_total = snap.committed;
+      abandoned_total = snap.abandoned;
+      rejected_total = snap.rejected;
+      rejected_deliveries_total = snap.rejected_deliveries;
+      wasted_uplink_total = snap.wasted_uplink_bytes;
+      rejected_bytes_total = snap.rejected_bytes;
+      global = snap.global;
+      tensor::copy(global, global_model->store().params());
+      strategy_->load_state(snap.strategy_state);
+      result.rounds = std::move(snap.rounds);
+      // The broadcast size is set lazily on the first dispatch of a
+      // version; a commit fed purely by restored in-flight arrivals would
+      // otherwise report 0. It is a pure function of the model, so restore
+      // it from the same oracle the lazy path is checked against.
+      downlink_bytes = strategy_->downlink_bytes(n);
+      for (const checkpoint::JobSnapshot& js : snap.jobs) {
+        jobs.emplace_back();
+        Job& job = jobs.back();
+        job.client = static_cast<std::size_t>(js.client);
+        job.slot = static_cast<std::size_t>(js.slot);
+        job.version = static_cast<std::size_t>(js.version);
+        job.dispatch_index = static_cast<std::size_t>(js.dispatch_index);
+        job.attempt = static_cast<std::size_t>(js.attempt);
+        job.dispatch_clock = js.dispatch_clock;
+        job.download_s = js.download_seconds;
+        job.compute_s = js.compute_seconds;
+        job.upload_start = js.upload_start;
+        job.churn_fails = js.churn_fails;
+        job.churn_fraction = js.churn_fraction;
+        ClientOutcome out;
+        out.client_id = job.client;
+        out.samples = static_cast<std::size_t>(js.samples);
+        out.is_update = js.is_update;
+        out.payload = js.payload;
+        out.train_seconds = js.train_seconds;
+        out.mean_loss = js.mean_loss;
+        out.last_loss = js.last_loss;
+        if (js.has_pending) {
+          auto up = std::make_unique<PendingUpdate>();
+          up->slot = job.slot;
+          up->dispatch_version = job.version;
+          up->dispatch_clock = job.dispatch_clock;
+          up->compute_seconds = job.compute_s;
+          up->download_seconds = job.download_s;
+          up->upload_seconds =
+              profiles[job.client].upload_seconds(out.payload.size());
+          up->outcome = std::move(out);
+          job.pending = std::move(up);
+        } else {
+          // Training never re-runs (run_client mutates per-client strategy
+          // state); the completed outcome waits behind a ready future for
+          // the training event to consume as if the pool had just finished.
+          std::promise<ClientOutcome> ready;
+          ready.set_value(std::move(out));
+          job.future = ready.get_future().share();
+        }
+        busy[job.client] = &job;
+      }
+      for (const checkpoint::EventSnapshot& ev : snap.events) {
+        if (ev.job_index != checkpoint::kNoJob) {
+          FEDBIAD_CHECK(ev.job_index < snap.jobs.size(),
+                        "snapshot event references a missing job");
+        }
+        switch (ev.kind) {
+          case checkpoint::EventKind::kTraining: {
+            Job* jp = &jobs[ev.job_index];
+            jp->training_event =
+                sched.schedule_at(ev.time, [&, jp] { on_training_done(*jp); });
+            break;
+          }
+          case checkpoint::EventKind::kDelivery: {
+            Job* jp = &jobs[ev.job_index];
+            jp->arrival_time = ev.time;
+            jp->arrival_event =
+                sched.schedule_at(ev.time, [&, jp] { deliver(*jp); });
+            break;
+          }
+          case checkpoint::EventKind::kChurnAbandon: {
+            Job* jp = &jobs[ev.job_index];
+            const std::uint64_t wasted = ev.aux;
+            jp->arrival_time = ev.time;
+            jp->churn_wasted = wasted;
+            jp->arrival_event = sched.schedule_at(
+                ev.time, [&, jp, wasted] { abandon_job(*jp, wasted); });
+            break;
+          }
+          case checkpoint::EventKind::kDeadline: {
+            Job* jp = &jobs[ev.job_index];
+            jp->deadline_event =
+                sched.schedule_at(ev.time, [&, jp] { on_deadline(*jp); });
+            break;
+          }
+          case checkpoint::EventKind::kDuplicate: {
+            // Carried by a fresh job record so a later checkpoint of the
+            // resumed run finds it in the duplicate scan above.
+            jobs.emplace_back();
+            Job& dup = jobs.back();
+            dup.framed_bytes = ev.aux;
+            dup.duplicate_time = ev.time;
+            Job* dp = &dup;
+            dup.duplicate_event = sched.schedule_at(ev.time, [&, dp] {
+              dp->duplicate_event = EventScheduler::kNoEvent;
+              ++rejected_deliveries_total;
+              rejected_bytes_total += dp->framed_bytes;
+              round_rejected_bytes += dp->framed_bytes;
+            });
+            break;
+          }
+        }
+      }
+      resumed = true;
+    }
+  }
+  if (resumed) {
+    // Replay the dispatch the original run performed right after writing
+    // the snapshot (the snapshot precedes commit()'s dispatch tail).
+    if (version < base.rounds) {
+      if (barrier) {
+        dispatch_wave();
+      } else {
+        strategy_->begin_round(version + 1, global);
+        top_up();
+      }
+    }
+  } else if (barrier) {
     dispatch_wave();
   } else {
     strategy_->begin_round(1, global);
@@ -800,6 +1214,9 @@ SimulationResult AsyncSimulation::run() {
   result.total_dispatched = dispatched;
   result.total_committed = committed_total;
   result.total_abandoned = abandoned_total;
+  result.total_rejected = rejected_total;
+  result.total_rejected_deliveries = rejected_deliveries_total;
+  result.total_rejected_bytes = rejected_bytes_total;
   result.total_wasted_uplink_bytes = wasted_uplink_total;
   result.final_in_flight = busy.size();
   result.final_buffered = aggregator->buffered();

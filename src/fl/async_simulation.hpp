@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "checkpoint/checkpoint.hpp"
 #include "data/partition.hpp"
 #include "fl/engine_hooks.hpp"
 #include "fl/metrics.hpp"
@@ -106,6 +107,12 @@ struct AsyncSimulationConfig {
   std::shared_ptr<EngineHooks> hooks;
   /// Label recorded in SimulationResult::scenario (traces, benches).
   std::string scenario_name;
+  /// Crash-safe checkpointing (see checkpoint/checkpoint.hpp): with a
+  /// directory configured, the engine snapshots its full state at commit
+  /// boundaries; with `resume` also set, run() restores the newest valid
+  /// snapshot and continues the trajectory bit-identically to an
+  /// uninterrupted run. Disabled (empty directory) by default.
+  checkpoint::CheckpointConfig checkpoint;
 };
 
 class AsyncSimulation {

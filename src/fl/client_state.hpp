@@ -8,11 +8,13 @@
 // of that client's turn.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 namespace fedbiad::fl {
 
@@ -42,6 +44,21 @@ class ClientStateStore {
   [[nodiscard]] std::size_t size() const {
     std::scoped_lock lock(mutex_);
     return states_.size();
+  }
+
+  /// Calls `fn(client_id, state)` for every client in ascending id order.
+  /// The deterministic order is what checkpoint serialization needs — an
+  /// unordered walk would make the snapshot bytes (and their CRC) depend on
+  /// the hash map's iteration order. Callers run on the engine thread with
+  /// the workers quiesced, so holding the map lock across `fn` is fine.
+  template <typename Fn>
+  void for_each_sorted(Fn&& fn) const {
+    std::scoped_lock lock(mutex_);
+    std::vector<std::size_t> ids;
+    ids.reserve(states_.size());
+    for (const auto& [id, state] : states_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (const std::size_t id : ids) fn(id, *states_.at(id));
   }
 
  private:

@@ -29,6 +29,27 @@ struct ChurnDecision {
   double fraction = 0.0;  ///< in [0, 1): where on the timeline it dies
 };
 
+/// Outcome of a per-delivery transport-fault draw. `position` in [0, 1)
+/// selects the damaged bit (bit-flip) or the cut point (truncation);
+/// `duplicate` marks an intact delivery the network replays once, with the
+/// copy lagging the original by `duplicate_lag` upload times.
+struct DeliveryFault {
+  bool corrupt = false;
+  bool truncate = false;     ///< corruption flavour when `corrupt` is set
+  double position = 0.0;     ///< in [0, 1): where the damage lands
+  bool duplicate = false;
+  double duplicate_lag = 0.0;  ///< in (0, 1]: copy's extra delay, relative
+};
+
+/// Upload retry policy (mirrors scenario::RetryConfig; the fl layer keeps
+/// its own mirror so the engine does not depend on the scenario module).
+struct RetryPolicy {
+  std::size_t max_attempts = 1;
+  double backoff_seconds = 1.0;
+  double backoff_multiplier = 2.0;
+  double jitter_fraction = 0.0;
+};
+
 class EngineHooks {
  public:
   virtual ~EngineHooks() = default;
@@ -60,6 +81,41 @@ class EngineHooks {
   /// ceil(select × factor) clients in flight (per wave under barrier) to
   /// hedge against churn and deadline losses.
   [[nodiscard]] virtual double over_selection() const = 0;
+
+  // --- transport faults (defaulted: a hooks implementation that predates
+  // the fault layer keeps its exact behaviour) ---
+
+  /// True when the session injects transport faults. Gates CRC framing of
+  /// every upload and all delivery_fault()/retry draws; false keeps the
+  /// engine's event path bit-identical to a fault-free session.
+  [[nodiscard]] virtual bool faults_enabled() const { return false; }
+
+  /// Per-delivery fault draw. `attempt` is 1-based: a retried upload gets
+  /// an independent draw per attempt. Must be a pure function of
+  /// (client, dispatch_seq, attempt) plus the scenario seed.
+  [[nodiscard]] virtual DeliveryFault delivery_fault(std::size_t client,
+                                                     std::size_t dispatch_seq,
+                                                     std::size_t attempt) {
+    (void)client;
+    (void)dispatch_seq;
+    (void)attempt;
+    return {};
+  }
+
+  /// The session's upload retry policy (constant per session).
+  [[nodiscard]] virtual RetryPolicy retry_policy() const { return {}; }
+
+  /// Jitter draw for the attempt'th retry of a dispatch, a pure function of
+  /// its arguments in [0, 1); the engine maps it into the policy's
+  /// [1 - jitter, 1 + jitter) backoff stretch.
+  [[nodiscard]] virtual double retry_jitter(std::size_t client,
+                                            std::size_t dispatch_seq,
+                                            std::size_t attempt) {
+    (void)client;
+    (void)dispatch_seq;
+    (void)attempt;
+    return 0.5;
+  }
 };
 
 }  // namespace fedbiad::fl

@@ -6,7 +6,7 @@ namespace fedbiad::fl {
 
 double SimulationResult::dropped_upload_fraction() const {
   if (total_dispatched == 0) return 0.0;
-  return static_cast<double>(total_abandoned) /
+  return static_cast<double>(total_abandoned + total_rejected) /
          static_cast<double>(total_dispatched);
 }
 
@@ -73,7 +73,7 @@ void SimulationResult::write_csv(std::ostream& os) const {
   os << "round,train_loss,test_loss,top1,topk,uplink_total_bytes,"
         "uplink_max_bytes,downlink_bytes,lttr_s,upload_s,download_s,"
         "aggregate_s,wall_s,clock_s,mean_staleness,abandoned,"
-        "wasted_uplink_bytes\n";
+        "wasted_uplink_bytes,rejected,rejected_bytes\n";
   for (const RoundRecord& r : rounds) {
     os << r.round << ',' << r.train_loss << ',' << r.test_loss << ','
        << r.top1 << ',' << r.topk << ',' << r.uplink_bytes_total << ','
@@ -82,7 +82,8 @@ void SimulationResult::write_csv(std::ostream& os) const {
        << r.download_seconds << ',' << r.aggregate_seconds << ','
        << r.wall_seconds() << ',' << r.clock_seconds << ','
        << r.mean_staleness << ',' << r.abandoned << ','
-       << r.wasted_uplink_bytes << '\n';
+       << r.wasted_uplink_bytes << ',' << r.rejected << ','
+       << r.rejected_bytes << '\n';
   }
 }
 

@@ -42,6 +42,14 @@ struct RoundRecord {
   /// uploads never aggregate and never appear in uplink_bytes_total.
   std::size_t abandoned = 0;
   std::uint64_t wasted_uplink_bytes = 0;
+  /// Fault accounting (0 unless the scenario injects transport faults):
+  /// dispatches terminally rejected since the previous commit — every
+  /// delivery corrupt and the retry budget exhausted — and the on-the-wire
+  /// bytes of all rejected deliveries (failed attempts and dropped
+  /// duplicates included, so rejected_bytes can be nonzero in a round whose
+  /// `rejected` is 0).
+  std::size_t rejected = 0;
+  std::uint64_t rejected_bytes = 0;
   /// Simulated device-side round time: download + local training + upload +
   /// aggregation (clients run in parallel, so max-per-client terms are used).
   [[nodiscard]] double wall_seconds() const {
@@ -59,16 +67,24 @@ struct SimulationResult {
 
   /// Whole-run dispatch conservation ledger (the invariant the scenario
   /// property tests pin): total_dispatched == total_committed +
-  /// total_abandoned + final_buffered + final_in_flight.
+  /// total_abandoned + total_rejected + final_buffered + final_in_flight.
   std::size_t total_dispatched = 0;   ///< clients sent out
   std::size_t total_committed = 0;    ///< updates that aggregated
   std::size_t total_abandoned = 0;    ///< churned or deadline-cut uploads
+  std::size_t total_rejected = 0;     ///< retry budget drained on corruption
   std::size_t final_buffered = 0;     ///< sitting in the aggregator at exit
   std::size_t final_in_flight = 0;    ///< still on the timeline at exit
   std::uint64_t total_wasted_uplink_bytes = 0;
+  /// Delivery-level fault ledger, outside the dispatch conservation law: a
+  /// dispatch whose first delivery corrupts but whose retry lands counts one
+  /// rejected delivery yet zero rejected dispatches, and a dropped duplicate
+  /// is a rejected delivery of an otherwise committed dispatch.
+  std::size_t total_rejected_deliveries = 0;
+  std::uint64_t total_rejected_bytes = 0;
 
-  /// Fraction of dispatched uploads that were abandoned (0 when nothing
-  /// was dispatched).
+  /// Fraction of dispatched uploads that never aggregated — abandoned
+  /// (churn/deadline) or terminally rejected (0 when nothing was
+  /// dispatched).
   [[nodiscard]] double dropped_upload_fraction() const;
 
   /// Mean per-client upload size per round (paper Table I "Upload Size").

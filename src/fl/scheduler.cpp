@@ -51,4 +51,10 @@ void EventScheduler::run() {
   }
 }
 
+void EventScheduler::set_now(double time) {
+  FEDBIAD_CHECK(time >= now_, "cannot move the clock backwards");
+  FEDBIAD_CHECK(empty(), "cannot jump the clock over pending events");
+  now_ = time;
+}
+
 }  // namespace fedbiad::fl

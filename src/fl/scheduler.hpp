@@ -62,6 +62,12 @@ class EventScheduler {
   /// Runs events until the queue is empty.
   void run();
 
+  /// Jumps the clock to `time` (must be >= now() and the queue must be
+  /// empty). Exists for checkpoint resume only: a restored scheduler starts
+  /// from the snapshot's clock before its events are re-scheduled, so every
+  /// re-scheduled time is an absolute time from the original run.
+  void set_now(double time);
+
  private:
   struct Event {
     double time = 0.0;

@@ -1,12 +1,24 @@
 #include "fl/strategy.hpp"
 
+#include <sstream>
+#include <utility>
+
 #include "common/check.hpp"
+#include "wire/reader.hpp"
 
 namespace fedbiad::fl {
 
 wire::Decoded Strategy::decode_payload(const nn::ParameterStore& layout,
                                        const wire::Payload& payload) const {
   return wire::decode_update(layout, payload);
+}
+
+std::vector<std::uint8_t> Strategy::save_state() const { return {}; }
+
+void Strategy::load_state(std::span<const std::uint8_t> bytes) {
+  FEDBIAD_CHECK(bytes.empty(),
+                "strategy " + name() + " is stateless but was handed a " +
+                    std::to_string(bytes.size()) + "-byte state blob");
 }
 
 void decode_outcome(const Strategy& strategy, const nn::ParameterStore& layout,
@@ -25,6 +37,39 @@ void decode_outcome(const Strategy& strategy, const nn::ParameterStore& layout,
   out.values = std::move(decoded.values);
   out.present = std::move(decoded.present);
   out.uplink_bytes = out.payload.size();
+}
+
+DecodeStatus try_decode_outcome(const Strategy& strategy,
+                                const nn::ParameterStore& layout,
+                                ClientOutcome& out, bool framed,
+                                const DecodeContext& ctx) {
+  FEDBIAD_CHECK(out.values.empty() && out.present.size() == 0,
+                "outcome already decoded — uplink bytes would double-count");
+  const std::uint64_t wire_size = out.payload.size();
+  auto wrap = [&ctx](const char* what) {
+    std::ostringstream os;
+    os << "upload from client " << ctx.client_id << " (dispatch "
+       << ctx.dispatch_seq << ", t=" << ctx.clock << "s) rejected: " << what;
+    return os.str();
+  };
+  try {
+    // strip_seal mutates the payload only after the trailer verifies, and a
+    // later section-decoder failure discards the payload anyway, so the
+    // in-place strip never leaves a half-consumed frame in play.
+    if (framed) wire::strip_seal(out.payload);
+    wire::Decoded decoded = strategy.decode_payload(layout, out.payload);
+    FEDBIAD_CHECK(decoded.values.size() == layout.size() &&
+                      decoded.present.size() == layout.size(),
+                  "decoded update does not match the model layout");
+    out.values = std::move(decoded.values);
+    out.present = std::move(decoded.present);
+    out.uplink_bytes = wire_size;
+    return {};
+  } catch (const wire::DecodeError& e) {
+    return {false, wrap(e.what())};
+  } catch (const CheckError& e) {
+    return {false, wrap(e.what())};
+  }
 }
 
 }  // namespace fedbiad::fl

@@ -142,6 +142,17 @@ class Strategy {
   /// strategies train sub-models and override with < 1 (FedBIAD's clients
   /// skip dropped rows entirely — the paper's LTTR advantage, Fig. 7).
   [[nodiscard]] virtual double compute_cost_multiplier() const { return 1.0; }
+
+  /// Serializes the strategy's persistent cross-round server state (e.g.
+  /// FedBIAD's per-client weight-score store) for a checkpoint. Stateless
+  /// strategies return an empty blob (the default). Must be called with the
+  /// workers quiesced, and the byte stream must be deterministic — the
+  /// snapshot's CRC pins it.
+  [[nodiscard]] virtual std::vector<std::uint8_t> save_state() const;
+
+  /// Restores state produced by save_state() on the same strategy type.
+  /// The default accepts only the empty blob.
+  virtual void load_state(std::span<const std::uint8_t> bytes);
 };
 
 using StrategyPtr = std::shared_ptr<Strategy>;
@@ -153,5 +164,34 @@ using StrategyPtr = std::shared_ptr<Strategy>;
 /// call it to reconstruct the dense view.
 void decode_outcome(const Strategy& strategy,
                     const nn::ParameterStore& layout, ClientOutcome& out);
+
+/// Where an upload came from, for fault-path diagnostics: every rejection
+/// message names the client, its dispatch sequence number, and the virtual
+/// clock at which the delivery was inspected.
+struct DecodeContext {
+  std::size_t client_id = 0;
+  std::size_t dispatch_seq = 0;
+  double clock = 0.0;
+};
+
+/// Result of a non-throwing decode: `ok`, or a context-wrapped reason.
+struct DecodeStatus {
+  bool ok = true;
+  std::string error;
+
+  explicit operator bool() const noexcept { return ok; }
+};
+
+/// Non-throwing variant of decode_outcome for fault-tolerant sessions: a
+/// malformed upload is a survivable transport event, not a programming
+/// error. When `framed` is set the payload must carry a valid CRC32C
+/// trailer (wire::seal_payload); the trailer is verified and stripped
+/// before the section decoder runs, and `out.uplink_bytes` charges the
+/// framed (on-the-wire) size. On failure `out` is left undecoded and the
+/// returned status carries the wire error wrapped with `ctx`.
+[[nodiscard]] DecodeStatus try_decode_outcome(const Strategy& strategy,
+                                              const nn::ParameterStore& layout,
+                                              ClientOutcome& out, bool framed,
+                                              const DecodeContext& ctx);
 
 }  // namespace fedbiad::fl

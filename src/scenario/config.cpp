@@ -69,6 +69,61 @@ ChurnConfig parse_churn(const json::Value& v) {
   return out;
 }
 
+RetryConfig parse_retry(const json::Value& v) {
+  RetryConfig out;
+  walk_object(v, "faults.retry",
+              [&](const std::string& key, const json::Value& m) {
+                if (key == "max_attempts") {
+                  const double n = get_number(m, "max_attempts");
+                  FEDBIAD_CHECK(n >= 1.0 && n == std::floor(n),
+                                "scenario: faults.retry.max_attempts must be "
+                                "a positive integer");
+                  out.max_attempts = static_cast<std::uint64_t>(n);
+                } else if (key == "backoff_seconds") {
+                  out.backoff_seconds = get_number(m, "backoff_seconds");
+                } else if (key == "backoff_multiplier") {
+                  out.backoff_multiplier = get_number(m, "backoff_multiplier");
+                } else if (key == "jitter_fraction") {
+                  out.jitter_fraction = get_number(m, "jitter_fraction");
+                } else {
+                  return false;
+                }
+                return true;
+              });
+  return out;
+}
+
+FaultsConfig parse_faults(const json::Value& v) {
+  FaultsConfig out;
+  walk_object(v, "faults", [&](const std::string& key, const json::Value& m) {
+    if (key == "corruption_probability") {
+      out.corruption_probability = get_number(m, "corruption_probability");
+    } else if (key == "corruption_mode") {
+      FEDBIAD_CHECK(m.is_string(),
+                    "scenario: faults.corruption_mode must be a string");
+      const std::string& mode = m.as_string();
+      if (mode == "bit_flip") {
+        out.corruption_mode = CorruptionMode::kBitFlip;
+      } else if (mode == "truncate") {
+        out.corruption_mode = CorruptionMode::kTruncate;
+      } else {
+        FEDBIAD_CHECK(false,
+                      "scenario: faults.corruption_mode must be \"bit_flip\" "
+                      "or \"truncate\", got \"" +
+                          mode + "\"");
+      }
+    } else if (key == "duplicate_probability") {
+      out.duplicate_probability = get_number(m, "duplicate_probability");
+    } else if (key == "retry") {
+      out.retry = parse_retry(m);
+    } else {
+      return false;
+    }
+    return true;
+  });
+  return out;
+}
+
 std::string num(double v) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.17g", v);
@@ -76,6 +131,16 @@ std::string num(double v) {
 }
 
 }  // namespace
+
+const char* to_string(CorruptionMode mode) noexcept {
+  switch (mode) {
+    case CorruptionMode::kBitFlip:
+      return "bit_flip";
+    case CorruptionMode::kTruncate:
+      return "truncate";
+  }
+  return "?";
+}
 
 void Config::validate() const {
   FEDBIAD_CHECK(!name.empty(), "scenario: name must be non-empty");
@@ -104,6 +169,24 @@ void Config::validate() const {
   if (churn.has_value()) {
     check_range(churn->failure_rate, 0.0, 0.95, "churn.failure_rate");
   }
+  if (faults.has_value()) {
+    const FaultsConfig& f = *faults;
+    // Same < 1 cap as churn: a session where every delivery corrupts and
+    // every retry budget drains would starve the engine outright.
+    check_range(f.corruption_probability, 0.0, 0.95,
+                "faults.corruption_probability");
+    check_range(f.duplicate_probability, 0.0, 0.95,
+                "faults.duplicate_probability");
+    const RetryConfig& r = f.retry;
+    FEDBIAD_CHECK(r.max_attempts >= 1 && r.max_attempts <= 16,
+                  "scenario: faults.retry.max_attempts out of range [1, 16]");
+    FEDBIAD_CHECK(std::isfinite(r.backoff_seconds) && r.backoff_seconds > 0.0,
+                  "scenario: faults.retry.backoff_seconds must be positive");
+    check_range(r.backoff_multiplier, 1.0, 8.0,
+                "faults.retry.backoff_multiplier");
+    check_range(r.jitter_fraction, 0.0, 1.0 - 1e-9,
+                "faults.retry.jitter_fraction");
+  }
 }
 
 Config Config::from_json(const std::string& text) {
@@ -129,6 +212,8 @@ Config Config::from_json(const std::string& text) {
                   cfg.availability = parse_availability(m);
                 } else if (key == "churn") {
                   cfg.churn = parse_churn(m);
+                } else if (key == "faults") {
+                  cfg.faults = parse_faults(m);
                 } else {
                   return false;
                 }
@@ -165,6 +250,24 @@ std::string Config::to_json() const {
   if (churn.has_value()) {
     os << ",\n  \"churn\": {\n";
     os << "    \"failure_rate\": " << num(churn->failure_rate) << "\n  }";
+  }
+  if (faults.has_value()) {
+    const FaultsConfig& f = *faults;
+    os << ",\n  \"faults\": {\n";
+    os << "    \"corruption_probability\": " << num(f.corruption_probability)
+       << ",\n";
+    os << "    \"corruption_mode\": \"" << to_string(f.corruption_mode)
+       << "\",\n";
+    os << "    \"duplicate_probability\": " << num(f.duplicate_probability)
+       << ",\n";
+    os << "    \"retry\": {\n";
+    os << "      \"max_attempts\": " << f.retry.max_attempts << ",\n";
+    os << "      \"backoff_seconds\": " << num(f.retry.backoff_seconds)
+       << ",\n";
+    os << "      \"backoff_multiplier\": " << num(f.retry.backoff_multiplier)
+       << ",\n";
+    os << "      \"jitter_fraction\": " << num(f.retry.jitter_fraction)
+       << "\n    }\n  }";
   }
   os << "\n}\n";
   return os.str();

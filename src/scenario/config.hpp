@@ -23,6 +23,17 @@
 //     },
 //     "churn": {
 //       "failure_rate": 0.2           // [0, 0.95]: P(dispatch dies mid-round)
+//     },
+//     "faults": {
+//       "corruption_probability": 0.05, // [0, 0.95]: P(delivery corrupted)
+//       "corruption_mode": "bit_flip",  // "bit_flip" | "truncate"
+//       "duplicate_probability": 0.02,  // [0, 0.95]: P(intact upload re-sent)
+//       "retry": {
+//         "max_attempts": 3,            // [1, 16] deliveries per dispatch
+//         "backoff_seconds": 1.0,       // > 0: base retry delay
+//         "backoff_multiplier": 2.0,    // [1, 8]: exponential growth
+//         "jitter_fraction": 0.25       // [0, 1): ± relative jitter
+//       }
 //     }
 //   }
 //
@@ -66,6 +77,41 @@ struct ChurnConfig {
   bool operator==(const ChurnConfig&) const = default;
 };
 
+/// How an upload is damaged when its corruption draw fires. Bit-flip keeps
+/// the frame length and inverts one bit; truncate drops a suffix. Both are
+/// within CRC32C's guaranteed-detection envelope, so a fault-tolerant
+/// session rejects every injected corruption (asserted by the engine).
+enum class CorruptionMode : std::uint8_t { kBitFlip, kTruncate };
+
+[[nodiscard]] const char* to_string(CorruptionMode mode) noexcept;
+
+/// Upload retry policy: a failed delivery is retried after
+/// backoff_seconds × multiplier^(attempt-1), stretched by a seeded jitter
+/// draw in [1 - jitter_fraction, 1 + jitter_fraction), until the dispatch
+/// has spent max_attempts deliveries — then it is terminally rejected.
+struct RetryConfig {
+  std::uint64_t max_attempts = 3;
+  double backoff_seconds = 1.0;
+  double backoff_multiplier = 2.0;
+  double jitter_fraction = 0.0;
+
+  bool operator==(const RetryConfig&) const = default;
+};
+
+/// Transport-fault process: each delivery (dispatch attempt) is corrupted
+/// with corruption_probability; an intact delivery is additionally
+/// duplicated with duplicate_probability (the copy arrives later and must
+/// be dropped without double-counting). Presence of this section switches
+/// the session to CRC-framed uploads.
+struct FaultsConfig {
+  double corruption_probability = 0.0;
+  CorruptionMode corruption_mode = CorruptionMode::kBitFlip;
+  double duplicate_probability = 0.0;
+  RetryConfig retry;
+
+  bool operator==(const FaultsConfig&) const = default;
+};
+
 struct Config {
   std::string name = "unnamed";
   std::uint64_t seed = 1;
@@ -73,13 +119,15 @@ struct Config {
   double deadline_seconds = 0.0;  ///< <= 0 disables the cutoff
   std::optional<AvailabilityConfig> availability;
   std::optional<ChurnConfig> churn;
+  std::optional<FaultsConfig> faults;
 
   bool operator==(const Config&) const = default;
 
   /// True when any section deviates from the ideal scenario.
   [[nodiscard]] bool active() const {
     return over_selection != 1.0 || deadline_seconds > 0.0 ||
-           availability.has_value() || churn.has_value();
+           availability.has_value() || churn.has_value() ||
+           faults.has_value();
   }
 
   /// Range-checks every field; throws CheckError with the offending field

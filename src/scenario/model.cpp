@@ -16,6 +16,8 @@ namespace {
 constexpr std::uint64_t kPhaseStream = 0xFA5E;
 constexpr std::uint64_t kChainStream = 0x3A7E;
 constexpr std::uint64_t kChurnStream = 0xC0FFEE;
+constexpr std::uint64_t kFaultStream = 0xFA017;
+constexpr std::uint64_t kJitterStream = 0x717E6;
 
 // Horizon cap for next_available_time: with on_probability > 0 the chain
 // turns on in a handful of periods with overwhelming probability; hitting
@@ -146,6 +148,48 @@ fl::ChurnDecision ChurnInjector::decide(std::size_t client,
   return out;
 }
 
+FaultInjector::FaultInjector(std::optional<FaultsConfig> cfg,
+                             std::uint64_t seed)
+    : cfg_(std::move(cfg)), base_(tensor::Rng(seed).split(kFaultStream)) {}
+
+fl::DeliveryFault FaultInjector::decide(std::size_t client,
+                                        std::size_t dispatch_seq,
+                                        std::size_t attempt) const {
+  fl::DeliveryFault out;
+  if (!cfg_.has_value()) return out;
+  tensor::Rng draw = base_.split(client).split(dispatch_seq).split(attempt);
+  // Fixed draw order (corrupt-roll, position, duplicate-roll, lag) so the
+  // decision is a stable function of the key even as probabilities vary
+  // between scenarios.
+  out.corrupt = draw.uniform() < cfg_->corruption_probability;
+  out.truncate = cfg_->corruption_mode == CorruptionMode::kTruncate;
+  out.position = draw.uniform();
+  out.duplicate = !out.corrupt &&
+                  draw.uniform() < cfg_->duplicate_probability;
+  // Lag in (0, 1]: a duplicate never lands at the exact instant of the
+  // original (the engine relies on the original resolving first).
+  out.duplicate_lag = 1.0 - draw.uniform();
+  return out;
+}
+
+double FaultInjector::jitter(std::size_t client, std::size_t dispatch_seq,
+                             std::size_t attempt) const {
+  if (!cfg_.has_value()) return 0.5;
+  tensor::Rng draw =
+      base_.split(kJitterStream).split(client).split(dispatch_seq);
+  return draw.split(attempt).uniform();
+}
+
+fl::RetryPolicy FaultInjector::retry_policy() const {
+  fl::RetryPolicy policy;
+  if (!cfg_.has_value()) return policy;
+  policy.max_attempts = static_cast<std::size_t>(cfg_->retry.max_attempts);
+  policy.backoff_seconds = cfg_->retry.backoff_seconds;
+  policy.backoff_multiplier = cfg_->retry.backoff_multiplier;
+  policy.jitter_fraction = cfg_->retry.jitter_fraction;
+  return policy;
+}
+
 namespace {
 
 class ScenarioHooks final : public fl::EngineHooks {
@@ -153,6 +197,7 @@ class ScenarioHooks final : public fl::EngineHooks {
   ScenarioHooks(const Config& cfg, std::size_t clients)
       : availability_(cfg.availability, cfg.seed, clients),
         churn_(cfg.churn, cfg.seed),
+        faults_(cfg.faults, cfg.seed),
         deadline_(cfg.deadline_seconds, cfg.over_selection) {}
 
   [[nodiscard]] bool client_available(std::size_t client,
@@ -178,9 +223,30 @@ class ScenarioHooks final : public fl::EngineHooks {
     return deadline_.over_selection();
   }
 
+  [[nodiscard]] bool faults_enabled() const override {
+    return faults_.enabled();
+  }
+
+  [[nodiscard]] fl::DeliveryFault delivery_fault(
+      std::size_t client, std::size_t dispatch_seq,
+      std::size_t attempt) override {
+    return faults_.decide(client, dispatch_seq, attempt);
+  }
+
+  [[nodiscard]] fl::RetryPolicy retry_policy() const override {
+    return faults_.retry_policy();
+  }
+
+  [[nodiscard]] double retry_jitter(std::size_t client,
+                                    std::size_t dispatch_seq,
+                                    std::size_t attempt) override {
+    return faults_.jitter(client, dispatch_seq, attempt);
+  }
+
  private:
   AvailabilityModel availability_;
   ChurnInjector churn_;
+  FaultInjector faults_;
   DeadlinePolicy deadline_;
 };
 

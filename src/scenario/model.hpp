@@ -65,6 +65,31 @@ class ChurnInjector {
   tensor::Rng base_;
 };
 
+/// Per-delivery transport-fault draws, stateless in (client, seq, attempt)
+/// — the same keyed-split discipline as ChurnInjector, so fault draws never
+/// perturb any other scenario stream and retries of the same dispatch get
+/// independent corruption rolls.
+class FaultInjector {
+ public:
+  FaultInjector(std::optional<FaultsConfig> cfg, std::uint64_t seed);
+
+  [[nodiscard]] bool enabled() const { return cfg_.has_value(); }
+
+  [[nodiscard]] fl::DeliveryFault decide(std::size_t client,
+                                         std::size_t dispatch_seq,
+                                         std::size_t attempt) const;
+
+  /// Retry backoff jitter in [0, 1), independent of the fault draw.
+  [[nodiscard]] double jitter(std::size_t client, std::size_t dispatch_seq,
+                              std::size_t attempt) const;
+
+  [[nodiscard]] fl::RetryPolicy retry_policy() const;
+
+ private:
+  std::optional<FaultsConfig> cfg_;
+  tensor::Rng base_;
+};
+
 /// Round cutoff: the upload deadline (virtual seconds from dispatch) and
 /// the over-selection factor that hedges against the resulting losses.
 class DeadlinePolicy {

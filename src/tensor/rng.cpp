@@ -104,6 +104,20 @@ std::size_t Rng::categorical(const std::vector<double>& weights) {
   return weights.size() - 1;
 }
 
+Rng::State Rng::state() const noexcept {
+  State st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.cached_normal = cached_normal_;
+  st.has_cached_normal = has_cached_normal_;
+  return st;
+}
+
+void Rng::set_state(const State& state) noexcept {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  cached_normal_ = state.cached_normal;
+  has_cached_normal_ = state.has_cached_normal;
+}
+
 std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
                                                          std::size_t k) {
   FEDBIAD_CHECK(k <= n, "cannot sample more items than the population");

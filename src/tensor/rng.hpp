@@ -71,6 +71,19 @@ class Rng {
   std::vector<std::size_t> sample_without_replacement(std::size_t n,
                                                       std::size_t k);
 
+  /// Complete generator state, exposed so a checkpoint can freeze a stream
+  /// mid-sequence and resume() can continue it bit-identically. The cached
+  /// Box–Muller deviate is part of the state: dropping it would desync the
+  /// normal() sequence by one draw.
+  struct State {
+    std::uint64_t s[4] = {};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+
+  [[nodiscard]] State state() const noexcept;
+  void set_state(const State& state) noexcept;
+
  private:
   std::uint64_t s_[4];
   double cached_normal_ = 0.0;

@@ -20,6 +20,19 @@
 
 namespace fedbiad::wire {
 
+/// CRC32C frame trailer appended to a sealed payload (see
+/// update_codec.hpp seal_payload). Framing is a per-session transport
+/// feature — a fault-tolerant session negotiates it exactly like the
+/// payload kind — so the trailer is charged by the fault path's uplink
+/// accounting but never appears in the paper-exact section formulas below.
+inline constexpr std::uint64_t kCrcTrailerBytes = 4;
+
+/// Wire size of a sealed (CRC-framed) payload of `payload_bytes` bytes.
+[[nodiscard]] constexpr std::uint64_t framed_bytes(
+    std::uint64_t payload_bytes) {
+  return payload_bytes + kCrcTrailerBytes;
+}
+
 /// Packed bit run: ceil(bits/8) bytes.
 [[nodiscard]] constexpr std::uint64_t packed_bits_bytes(std::uint64_t bits) {
   return (bits + 7) / 8;

@@ -1,0 +1,36 @@
+#include "wire/crc32c.hpp"
+
+#include <array>
+
+namespace fedbiad::wire {
+
+namespace {
+
+// Reflected CRC32C table, generated at static-init time from the reversed
+// Castagnoli polynomial 0x82F63B78.
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1U) != 0 ? (crc >> 1) ^ 0x82F63B78U : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data,
+                     std::uint32_t crc) noexcept {
+  std::uint32_t state = crc ^ 0xFFFFFFFFU;
+  for (const std::uint8_t byte : data) {
+    state = kTable[(state ^ byte) & 0xFFU] ^ (state >> 8);
+  }
+  return state ^ 0xFFFFFFFFU;
+}
+
+}  // namespace fedbiad::wire

@@ -1,0 +1,29 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) over byte runs.
+//
+// The fault-tolerance layer uses this checksum in two places: the optional
+// per-payload frame trailer (wire/update_codec.hpp seal_payload) that lets
+// the server reject bit-flipped or truncated uploads instead of trusting
+// the section decoder to notice, and the checkpoint file footer that lets
+// resume() tell a torn snapshot from a good one. CRC32C detects all 1- and
+// 2-bit errors and all burst errors up to 32 bits — exactly the corruption
+// classes the fault injector produces.
+//
+// Software slice-by-1 table implementation: the inputs are small (payloads
+// top out in the megabytes, checksummed once per upload), so portability
+// beats the SSE4.2 instruction here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace fedbiad::wire {
+
+/// CRC32C of `data`, seeded with `crc` (pass the previous return value to
+/// checksum a buffer in chunks; 0 starts a fresh run). The standard
+/// reflected algorithm: init/xorout 0xFFFFFFFF are applied internally, so
+/// crc32c("123456789") == 0xE3069283.
+[[nodiscard]] std::uint32_t crc32c(std::span<const std::uint8_t> data,
+                                   std::uint32_t crc = 0) noexcept;
+
+}  // namespace fedbiad::wire

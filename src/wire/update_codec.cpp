@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "wire/accounting.hpp"
+#include "wire/crc32c.hpp"
 #include "wire/reader.hpp"
 #include "wire/writer.hpp"
 
@@ -547,6 +548,36 @@ Decoded decode_update(const nn::ParameterStore& layout, const Payload& payload,
   }
   throw DecodeError(std::string("payload kind ") + to_string(payload.kind) +
                     " has no layout-generic decoder");
+}
+
+void seal_payload(Payload& payload) {
+  const std::uint32_t crc = crc32c(payload.bytes);
+  Writer w;
+  w.u32(crc);
+  const std::vector<std::uint8_t> trailer = std::move(w).take();
+  payload.bytes.insert(payload.bytes.end(), trailer.begin(), trailer.end());
+  FEDBIAD_DCHECK(payload.size() == framed_bytes(payload.size() -
+                                                kCrcTrailerBytes),
+                 "sealed size diverged from the accounting oracle");
+}
+
+bool verify_seal(const Payload& payload) noexcept {
+  if (payload.bytes.size() < kCrcTrailerBytes) return false;
+  const std::size_t body = payload.bytes.size() - kCrcTrailerBytes;
+  std::uint32_t stored = 0;
+  for (std::size_t i = 0; i < kCrcTrailerBytes; ++i) {
+    stored |= static_cast<std::uint32_t>(payload.bytes[body + i]) << (8 * i);
+  }
+  return crc32c(std::span(payload.bytes).first(body)) == stored;
+}
+
+void strip_seal(Payload& payload) {
+  if (!verify_seal(payload)) {
+    throw DecodeError(payload.bytes.size() < kCrcTrailerBytes
+                          ? "frame shorter than its CRC trailer"
+                          : "frame CRC mismatch (corrupt or truncated)");
+  }
+  payload.bytes.resize(payload.bytes.size() - kCrcTrailerBytes);
 }
 
 }  // namespace fedbiad::wire

@@ -78,6 +78,26 @@ struct Decoded {
   Bitset present;
 };
 
+// --- CRC framing (fault-tolerant sessions) ---
+//
+// A sealed payload carries a 4-byte little-endian CRC32C trailer over its
+// body. Framing is negotiated per session like kind/aux: ideal sessions
+// transmit bare sections (the paper-exact accounting), fault-tolerant
+// sessions seal every upload so the server can reject bit flips and
+// truncation before the section decoder ever runs. The trailer is counted
+// by wire::framed_bytes (accounting.hpp).
+
+/// Appends the CRC32C trailer to `payload` in place.
+void seal_payload(Payload& payload);
+
+/// True when `payload` ends in a trailer matching its body. A buffer too
+/// short to hold a trailer verifies false, never throws.
+[[nodiscard]] bool verify_seal(const Payload& payload) noexcept;
+
+/// Removes a verified trailer in place. Throws DecodeError when the trailer
+/// is missing or does not match the body (corrupt or truncated frame).
+void strip_seal(Payload& payload);
+
 // --- encoders (client side) ---
 
 [[nodiscard]] Payload encode_dense_f32(std::span<const float> values);

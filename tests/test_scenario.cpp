@@ -300,7 +300,7 @@ TEST(ScenarioConfig, CorpusFilesParseAndRoundTrip) {
   const std::string dir = FEDBIAD_SCENARIO_DIR;
   const std::vector<std::string> names = {
       "ideal",          "churn_moderate", "churn_heavy", "deadline_tight",
-      "deadline_bench", "diurnal",        "flash_crowd"};
+      "deadline_bench", "diurnal",        "flash_crowd", "faulty"};
   for (const std::string& name : names) {
     const scenario::Config cfg =
         scenario::Config::load(dir + "/" + name + ".json");

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke: SIGKILL the fault_recovery example mid-round, resume
+# from its checkpoints, and demand the resumed trajectory be byte-identical
+# to an uninterrupted run. CI runs this on every push (see ci.yml).
+#
+#   usage: tools/kill_resume_smoke.sh [path/to/fault_recovery]
+set -u
+
+BIN=${1:-build/examples/fault_recovery}
+if [ ! -x "$BIN" ]; then
+  echo "kill_resume_smoke: $BIN not found or not executable" >&2
+  exit 1
+fi
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+export FEDBIAD_SMOKE=1
+
+echo "[1/3] uninterrupted run"
+"$BIN" --ckpt-dir "$TMP/golden_ckpt" > "$TMP/golden.txt" || {
+  echo "kill_resume_smoke: uninterrupted run failed" >&2
+  exit 1
+}
+
+echo "[2/3] crash run (SIGKILL once snapshot 2 exists)"
+"$BIN" --ckpt-dir "$TMP/crash_ckpt" --kill-after-round 2 \
+  > "$TMP/crash.txt" 2>&1
+status=$?
+if [ "$status" -ne 137 ]; then
+  echo "kill_resume_smoke: expected exit 137 (SIGKILL), got $status" >&2
+  cat "$TMP/crash.txt" >&2
+  exit 1
+fi
+
+echo "[3/3] resume and diff against the uninterrupted trajectory"
+"$BIN" --ckpt-dir "$TMP/crash_ckpt" --resume > "$TMP/resumed.txt" || {
+  echo "kill_resume_smoke: resume run failed" >&2
+  exit 1
+}
+if ! diff -u "$TMP/golden.txt" "$TMP/resumed.txt"; then
+  echo "kill_resume_smoke: resumed trajectory diverged from uninterrupted run" >&2
+  exit 1
+fi
+
+echo "kill-and-resume smoke passed: resumed output is byte-identical"
