@@ -22,6 +22,9 @@ class FjordStrategy final : public fl::Strategy {
   [[nodiscard]] wire::Decoded decode_payload(
       const nn::ParameterStore& layout,
       const wire::Payload& payload) const override;
+  [[nodiscard]] wire::CompactUpdate decode_payload_compact(
+      const nn::ParameterStore& layout,
+      const wire::Payload& payload) const override;
 
   [[nodiscard]] double width_ratio() const noexcept { return ratio_; }
 

@@ -43,4 +43,9 @@ wire::Decoded HeteroFlStrategy::decode_payload(
   return plan_.decode_submodel(layout, payload);
 }
 
+wire::CompactUpdate HeteroFlStrategy::decode_payload_compact(
+    const nn::ParameterStore& layout, const wire::Payload& payload) const {
+  return wire::compact_from_decoded(plan_.decode_submodel(layout, payload));
+}
+
 }  // namespace fedbiad::baselines

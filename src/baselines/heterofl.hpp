@@ -26,6 +26,9 @@ class HeteroFlStrategy final : public fl::Strategy {
   [[nodiscard]] wire::Decoded decode_payload(
       const nn::ParameterStore& layout,
       const wire::Payload& payload) const override;
+  [[nodiscard]] wire::CompactUpdate decode_payload_compact(
+      const nn::ParameterStore& layout,
+      const wire::Payload& payload) const override;
 
   [[nodiscard]] const std::vector<double>& levels() const noexcept {
     return levels_;

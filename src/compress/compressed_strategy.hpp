@@ -51,6 +51,9 @@ class ComposedStrategy final : public fl::Strategy {
   [[nodiscard]] wire::Decoded decode_payload(
       const nn::ParameterStore& layout,
       const wire::Payload& payload) const override;
+  [[nodiscard]] wire::CompactUpdate decode_payload_compact(
+      const nn::ParameterStore& layout,
+      const wire::Payload& payload) const override;
   [[nodiscard]] double compute_cost_multiplier() const override {
     return inner_->compute_cost_multiplier();
   }

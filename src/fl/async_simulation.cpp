@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <deque>
 #include <functional>
 #include <future>
 #include <iostream>
@@ -13,7 +12,8 @@
 #include <utility>
 
 #include "common/check.hpp"
-#include "fl/aggregate.hpp"
+#include "fl/client_registry.hpp"
+#include "fl/fused_aggregate.hpp"
 #include "fl/scheduler.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tensor/ops.hpp"
@@ -106,46 +106,23 @@ class BufferedAggregator final : public AsyncAggregator {
 /// outcomes subtract it, update-type outcomes already are one), deltas are
 /// averaged per coordinate over the transmitting clients with weight
 /// |D_k| · (1+τ_k)^-a, and the global takes an α-sized step along the mean.
-void staleness_merge(std::span<float> global,
+void staleness_merge(ShardedAccumulator& acc, std::span<float> global,
                      const std::vector<PendingUpdate>& batch,
                      const StalenessConfig& cfg, std::size_t commit_version) {
   FEDBIAD_CHECK(!batch.empty(), "staleness merge with no updates");
-  const std::size_t n = global.size();
-  std::vector<double> weights(batch.size());
+  std::vector<FusedUpdate> fused(batch.size());
   for (std::size_t k = 0; k < batch.size(); ++k) {
     const PendingUpdate& up = batch[k];
-    FEDBIAD_CHECK(up.outcome.values.size() == n &&
-                      up.outcome.present.size() == n,
-                  "client outcome size mismatch (payload not decoded?)");
-    FEDBIAD_CHECK(up.outcome.samples > 0, "client outcome without samples");
     FEDBIAD_CHECK(commit_version >= up.dispatch_version,
                   "update from the future");
     const auto staleness =
         static_cast<double>(commit_version - up.dispatch_version);
-    weights[k] = static_cast<double>(up.outcome.samples) *
-                 std::pow(1.0 + staleness, -cfg.exponent);
+    fused[k].update = &up.outcome.compact;
+    fused[k].weight = static_cast<double>(up.outcome.samples) *
+                      std::pow(1.0 + staleness, -cfg.exponent);
+    fused[k].is_update = up.outcome.is_update;
   }
-  parallel::parallel_for(
-      n,
-      [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          double acc = 0.0;
-          double weight = 0.0;
-          for (std::size_t k = 0; k < batch.size(); ++k) {
-            const PendingUpdate& up = batch[k];
-            if (!up.outcome.present.test(i)) continue;
-            const double v = static_cast<double>(up.outcome.values[i]);
-            const double delta =
-                up.outcome.is_update ? v : v - static_cast<double>(global[i]);
-            acc += weights[k] * delta;
-            weight += weights[k];
-          }
-          if (weight > 0.0) {
-            global[i] += static_cast<float>(cfg.mixing_rate * acc / weight);
-          }
-        }
-      },
-      batch.size() * 2);
+  acc.merge(global, fused, cfg.mixing_rate);
 }
 
 }  // namespace
@@ -185,12 +162,19 @@ AsyncSimulation::AsyncSimulation(AsyncSimulationConfig cfg,
       factory_(std::move(factory)),
       train_data_(std::move(train_data)),
       test_data_(std::move(test_data)),
-      partition_(std::move(partition)),
+      population_(partition.size()),
       strategy_(std::move(strategy)) {
   FEDBIAD_CHECK(factory_ != nullptr, "model factory required");
   FEDBIAD_CHECK(train_data_ && test_data_, "datasets required");
   FEDBIAD_CHECK(strategy_ != nullptr, "strategy required");
-  FEDBIAD_CHECK(!partition_.empty(), "need at least one client");
+  FEDBIAD_CHECK(population_ > 0, "need at least one client");
+  // Compact the partition: keep only populated shards (see the member
+  // comment) and let the dense vector die with the parameter.
+  for (std::size_t k = 0; k < partition.size(); ++k) {
+    if (partition[k].empty()) continue;
+    populated_.push_back(k);
+    shards_.push_back(std::move(partition[k]));
+  }
   FEDBIAD_CHECK(cfg_.staleness.mixing_rate > 0.0 &&
                     cfg_.staleness.mixing_rate <= 1.0,
                 "staleness mixing rate must be in (0, 1]");
@@ -207,14 +191,11 @@ SimulationResult AsyncSimulation::run() {
   tensor::Rng rng(base.seed);
   const tensor::Rng client_rng_base(base.seed);
 
-  std::vector<std::size_t> populated;
-  for (std::size_t k = 0; k < partition_.size(); ++k) {
-    if (!partition_[k].empty()) populated.push_back(k);
-  }
+  const std::vector<std::size_t>& populated = populated_;
   FEDBIAD_CHECK(!populated.empty(), "every client shard is empty");
   const std::size_t select = std::max<std::size_t>(
       1, static_cast<std::size_t>(base.selection_fraction *
-                                  static_cast<double>(partition_.size())));
+                                  static_cast<double>(population_)));
   FEDBIAD_CHECK(select <= populated.size(),
                 "selection fraction exceeds populated clients");
 
@@ -241,13 +222,21 @@ SimulationResult AsyncSimulation::run() {
   // path below is byte-identical to the fault-free engine.
   const bool faulty = scenario && hooks->faults_enabled();
   const RetryPolicy retry_policy = faulty ? hooks->retry_policy() : RetryPolicy{};
+  // Scenarios whose availability process is trivially always-on let the
+  // engine skip the O(population) candidate scans below and draw the same
+  // selections from idle-set order statistics instead.
+  const bool scan_availability = scenario && !hooks->always_available();
   const checkpoint::CheckpointConfig& ckpt = cfg_.checkpoint;
 
-  // Profiles come from a split of the base seed, not from `rng`: the main
-  // selection stream must consume exactly the same draws as the sync engine
-  // regardless of the heterogeneity config.
-  const std::vector<netsim::ClientProfile> profiles = netsim::make_profiles(
-      partition_.size(), cfg_.heterogeneity, base.link, rng.split(0xA11C));
+  // The registry materializes device profiles lazily from the same split of
+  // the base seed make_profiles consumed (not from `rng`: the main selection
+  // stream must see exactly the same draws as the sync engine regardless of
+  // the heterogeneity config), and pools the per-dispatch ClientState
+  // records, so steady-state engine memory is O(in-flight), not
+  // O(registered). Declared before the thread pool below: worker tasks hold
+  // ClientState*, so the pool must drain and join first on unwind.
+  ClientRegistry registry(population_, cfg_.heterogeneity, base.link,
+                          rng.split(0xA11C));
 
   auto global_model = factory_();
   {
@@ -265,48 +254,11 @@ SimulationResult AsyncSimulation::run() {
   std::vector<float> global(n);
   tensor::copy(global_model->store().params(), global);
 
-  // One in-flight record per dispatched client. std::deque keeps element
-  // addresses stable, so scheduler events and pool tasks can hold Job*.
-  struct Job {
-    std::size_t client = 0;
-    std::size_t slot = 0;
-    std::size_t version = 0;
-    double dispatch_clock = 0.0;
-    double download_s = 0.0;
-    double compute_s = 0.0;
-    /// Global params at dispatch — shared by every job of the same version
-    /// (the global only changes at commits, so one copy per version).
-    std::shared_ptr<const std::vector<float>> snapshot;
-    // shared_future so checkpointing can peek at the completed outcome
-    // without consuming the shared state the training event still needs.
-    std::shared_future<ClientOutcome> future;
-    std::unique_ptr<PendingUpdate> pending;  ///< set once the upload starts
-    // Scenario state (inert without hooks): the per-dispatch churn draw,
-    // when the upload started (wasted-byte accounting at the deadline), and
-    // the cancellable events racing over this job's fate. For a churned job
-    // arrival_event holds the scheduled mid-upload abandon instead — an
-    // arrival is never scheduled for it.
-    bool churn_fails = false;
-    double churn_fraction = 0.0;
-    double upload_start = 0.0;
-    EventScheduler::EventId training_event = EventScheduler::kNoEvent;
-    EventScheduler::EventId arrival_event = EventScheduler::kNoEvent;
-    EventScheduler::EventId deadline_event = EventScheduler::kNoEvent;
-    // Fault/checkpoint state: the global dispatch counter at dispatch (the
-    // key every fault draw is made under), the 1-based delivery attempt,
-    // absolute times of the pending arrival/duplicate events (checkpoints
-    // store absolute times, so they are kept rather than re-derived), the
-    // churn-abandon wasted bytes, and the sealed frame size a pending
-    // duplicate delivery will be charged at.
-    std::size_t dispatch_index = 0;
-    std::size_t attempt = 1;
-    double arrival_time = 0.0;
-    double duplicate_time = 0.0;
-    std::uint64_t churn_wasted = 0;
-    std::uint64_t framed_bytes = 0;
-    EventScheduler::EventId duplicate_event = EventScheduler::kNoEvent;
-  };
-  std::deque<Job> jobs;
+  // One pool-leased record per in-flight dispatch (the registry keeps
+  // addresses stable, so scheduler events and pool tasks can hold Job*).
+  // Acquired at dispatch, released the moment the dispatch resolves —
+  // resolved dispatches cost nothing, unlike the old append-only job deque.
+  using Job = ClientState;
   std::shared_ptr<const std::vector<float>> version_snapshot;
   // Measured size of the per-version model broadcast (encoded below, once
   // per version); feeds both the link timing and RoundRecord accounting.
@@ -330,9 +282,37 @@ SimulationResult AsyncSimulation::run() {
       break;
   }
 
+  // Commit-path accumulator panels; leased per parallel chunk and persistent
+  // across rounds.
+  ShardedAccumulator sharded;
+
   std::size_t version = 0;             // commits done so far
   std::size_t dispatched = 0;          // clients sent out so far
   std::map<std::size_t, Job*> busy;    // clients currently in flight
+  // Mirror of the busy set keyed by position in `populated`, maintained so
+  // replacement draws are order statistics over O(in-flight) state instead
+  // of O(population) scans. `populated` is ascending, so the position of a
+  // client is its lower_bound rank.
+  IdleSet idle(populated.size());
+  auto populated_pos = [&](std::size_t client) {
+    return static_cast<std::size_t>(
+        std::lower_bound(populated.begin(), populated.end(), client) -
+        populated.begin());
+  };
+  // Shards are stored compacted (populated clients only); every lookup is
+  // for a dispatched — hence populated — client. Read-only, so safe from
+  // pool tasks too.
+  auto shard_of = [&](std::size_t client) -> const std::vector<std::size_t>& {
+    return shards_[populated_pos(client)];
+  };
+  auto mark_busy = [&](std::size_t client, Job* jp) {
+    busy[client] = jp;
+    idle.set_busy(populated_pos(client));
+  };
+  auto mark_idle = [&](std::size_t client) {
+    busy.erase(client);
+    idle.set_idle(populated_pos(client));
+  };
   const bool barrier = cfg_.mode == AggregationMode::kBarrier;
   const std::size_t per_commit =
       cfg_.mode == AggregationMode::kBufferedK ? cfg_.buffer_size : 1;
@@ -370,7 +350,8 @@ SimulationResult AsyncSimulation::run() {
   std::vector<Job*> zombies;         // abandoned while still training
 
   // The pool is declared after everything its worker tasks reference
-  // (jobs, replicas, the free list and its mutex), so its destructor —
+  // (the registry's leased records, replicas, the free list and its
+  // mutex), so its destructor —
   // which drains queued tasks and joins — runs before any of them die,
   // even on an exceptional unwind.
   std::vector<std::unique_ptr<nn::Model>> replicas;
@@ -387,7 +368,7 @@ SimulationResult AsyncSimulation::run() {
 
   auto work_units = [&](std::size_t client) {
     const double samples = static_cast<double>(std::min<std::size_t>(
-        base.train.batch_size, partition_[client].size()));
+        base.train.batch_size, shard_of(client).size()));
     return static_cast<double>(base.train.local_iterations) * samples *
            strategy_->compute_cost_multiplier();
   };
@@ -407,7 +388,7 @@ SimulationResult AsyncSimulation::run() {
   auto quiesce_zombies = [&] {
     for (Job* jp : zombies) {
       if (jp->future.valid()) jp->future.wait();
-      jp->snapshot.reset();
+      registry.release(jp);
     }
     zombies.clear();
   };
@@ -432,7 +413,7 @@ SimulationResult AsyncSimulation::run() {
     // Link timing runs on the measured size of the encoded buffer — the
     // payload is what travels, so its byte count is what the uplink carries.
     up->upload_seconds =
-        profiles[job.client].upload_seconds(out.payload.size());
+        registry.profile(job.client).upload_seconds(out.payload.size());
     up->outcome = std::move(out);
     job.pending = std::move(up);
     job.upload_start = sched.now();
@@ -485,8 +466,7 @@ SimulationResult AsyncSimulation::run() {
       FEDBIAD_CHECK(dispatched < dispatch_cap,
                     "scenario starved the engine (dispatch cap reached)");
     }
-    jobs.emplace_back();
-    Job& job = jobs.back();
+    Job& job = *registry.acquire();
     job.client = client;
     job.slot = slot;
     job.version = version;
@@ -500,7 +480,7 @@ SimulationResult AsyncSimulation::run() {
       job.churn_fails = churn.fails;
       job.churn_fraction = churn.fraction;
     }
-    const auto& prof = profiles[client];
+    const netsim::ClientProfile prof = registry.profile(client);
     if (!version_snapshot) {
       // Server→client path: encode the model broadcast for real (once per
       // version), measure it, and hand clients the decoded copy. f32
@@ -517,7 +497,7 @@ SimulationResult AsyncSimulation::run() {
     job.download_s = prof.download_seconds(downlink_bytes);
     job.compute_s = prof.compute_seconds(work_units(client));
     job.snapshot = version_snapshot;
-    busy[client] = &job;
+    mark_busy(client, &job);
     ++dispatched;
     const std::size_t round = version + 1;
     tensor::Rng ctx_rng =
@@ -538,7 +518,7 @@ SimulationResult AsyncSimulation::run() {
           .model = *replica,
           .global_params = *jp->snapshot,
           .dataset = *train_data_,
-          .shard = partition_[client],
+          .shard = shard_of(client),
           .settings = base.train,
           .rng = ctx_rng,
           .model_version = jp->version,
@@ -581,6 +561,28 @@ SimulationResult AsyncSimulation::run() {
       for (const auto i : picks) dispatch(populated[i], slot++, version + 1);
       return;
     }
+    if (!scan_availability) {
+      // Always-on availability: the candidate list is exactly the ascending
+      // idle populated clients, so candidates[i] == populated[idle.select(i)]
+      // and the sample below consumes identical rng draws. Picks are mapped
+      // to clients before dispatching — dispatch mutates the idle set.
+      const std::size_t avail_count = idle.idle_count();
+      if (avail_count == 0) {
+        schedule_retry();
+        return;
+      }
+      const std::size_t want = std::min(select_target, avail_count);
+      const auto picks = rng.sample_without_replacement(avail_count, want);
+      std::vector<std::size_t> chosen;
+      chosen.reserve(want);
+      for (const auto i : picks) chosen.push_back(populated[idle.select(i)]);
+      quiesce_zombies();
+      strategy_->begin_round(version + 1, global);
+      wave_outstanding = want;
+      std::size_t slot = 0;
+      for (const std::size_t c : chosen) dispatch(c, slot++, version + 1);
+      return;
+    }
     std::vector<std::size_t> candidates;
     for (const std::size_t k : populated) {
       if (busy.find(k) == busy.end() &&
@@ -606,18 +608,29 @@ SimulationResult AsyncSimulation::run() {
   // on the engine thread, so the choice is deterministic.
   auto top_up = [&] {
     if (!scenario) {
+      // The j-th smallest idle populated client is populated[idle.select(j)]
+      // — exactly avail[j] of the ascending scan this replaces, fed the
+      // identical uniform_index draw.
       while (dispatched < dispatch_budget && busy.size() < select) {
-        std::vector<std::size_t> avail;
-        for (const std::size_t k : populated) {
-          if (busy.find(k) == busy.end()) avail.push_back(k);
-        }
-        if (avail.empty()) break;
-        const std::size_t client = avail[rng.uniform_index(avail.size())];
+        if (idle.idle_count() == 0) break;
+        const std::size_t client =
+            populated[idle.select(rng.uniform_index(idle.idle_count()))];
         dispatch(client, 0, 0x10000 + dispatched);
       }
       return;
     }
     while (version < base.rounds && busy.size() < select_target) {
+      if (!scan_availability) {
+        if (idle.idle_count() == 0) {
+          // All populated clients are in flight, so busy is non-empty and
+          // an arrival will re-trigger top_up; no wake-up needed.
+          break;
+        }
+        const std::size_t client =
+            populated[idle.select(rng.uniform_index(idle.idle_count()))];
+        dispatch(client, 0, 0x10000 + dispatched);
+        continue;
+      }
       std::vector<std::size_t> avail;
       for (const std::size_t k : populated) {
         if (busy.find(k) == busy.end() &&
@@ -637,17 +650,22 @@ SimulationResult AsyncSimulation::run() {
   };
 
   abandon_job = [&](Job& job, std::uint64_t wasted) {
-    // Do NOT touch job.snapshot here: if training is still running, the
-    // pool task dereferences it. cancel() of an already-run or kNoEvent id
-    // is a no-op, so cancelling all three races is always safe.
-    if (sched.cancel(job.training_event)) zombies.push_back(&job);
+    // Do NOT release the record while training is still running: the pool
+    // task dereferences its snapshot. Such zombies are parked and released
+    // by quiesce_zombies once their real computation drains. cancel() of an
+    // already-run or kNoEvent id is a no-op, so cancelling all three races
+    // is always safe. An abandoned dispatch never delivered, so it can have
+    // no pending duplicate holding the record either.
+    const bool training_live = sched.cancel(job.training_event);
+    if (training_live) zombies.push_back(&job);
     sched.cancel(job.arrival_event);
     sched.cancel(job.deadline_event);
     job.training_event = EventScheduler::kNoEvent;
     job.arrival_event = EventScheduler::kNoEvent;
     job.deadline_event = EventScheduler::kNoEvent;
     job.pending.reset();
-    busy.erase(job.client);
+    mark_idle(job.client);
+    if (!training_live) registry.release(&job);
     ++abandoned_total;
     ++round_abandoned;
     wasted_uplink_total += wasted;
@@ -675,7 +693,7 @@ SimulationResult AsyncSimulation::run() {
     job.arrival_event = EventScheduler::kNoEvent;
     if (!faulty) {
       job.pending->arrival_clock = sched.now();
-      busy.erase(job.client);
+      mark_idle(job.client);
       on_arrival(job);
       return;
     }
@@ -705,7 +723,7 @@ SimulationResult AsyncSimulation::run() {
             framed * 8 - 1);
         probe.payload.bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
       }
-      const DecodeStatus status = try_decode_outcome(
+      const DecodeStatus status = try_decode_outcome_compact(
           *strategy_, global_model->store(), probe, /*framed=*/true,
           DecodeContext{job.client, job.dispatch_index, sched.now()});
       FEDBIAD_CHECK(!status.ok, "injected corruption slipped past the CRC frame");
@@ -734,7 +752,10 @@ SimulationResult AsyncSimulation::run() {
       sched.cancel(job.deadline_event);
       job.deadline_event = EventScheduler::kNoEvent;
       job.pending.reset();
-      busy.erase(job.client);
+      mark_idle(job.client);
+      // Terminal rejection resolves the dispatch; duplicates only spawn from
+      // intact deliveries, so nothing else can hold this record.
+      registry.release(&job);
       ++rejected_total;
       ++round_rejected;
       if (barrier) {
@@ -755,10 +776,13 @@ SimulationResult AsyncSimulation::run() {
         ++rejected_deliveries_total;
         rejected_bytes_total += dp->framed_bytes;
         round_rejected_bytes += dp->framed_bytes;
+        // on_arrival deferred the record's release to this handler (the
+        // scheduled duplicate held the last pointer to it).
+        if (dp->release_on_duplicate) registry.release(dp);
       });
     }
     job.pending->arrival_clock = sched.now();
-    busy.erase(job.client);
+    mark_idle(job.client);
     on_arrival(job);
   };
 
@@ -888,15 +912,17 @@ SimulationResult AsyncSimulation::run() {
                            jp->dispatch_clock + deadline, 0}});
       }
     }
-    // Duplicate deliveries outlive their dispatch's resolution, so they are
-    // found by scanning all jobs, not just the busy ones.
-    for (const Job& job : jobs) {
+    // Duplicate deliveries outlive their dispatch's resolution; their
+    // records stay leased (release deferred to the duplicate handler), so
+    // scanning the active leases finds exactly them — dormant clients have
+    // no record at all and are never serialized.
+    registry.for_each_active([&](Job& job) {
       if (job.duplicate_event != EventScheduler::kNoEvent) {
         events.push_back({job.duplicate_event,
                           {checkpoint::EventKind::kDuplicate, checkpoint::kNoJob,
                            job.duplicate_time, job.framed_bytes}});
       }
-    }
+    });
     FEDBIAD_CHECK(events.size() == sched.pending(),
                   "checkpoint lost track of pending events");
     std::sort(events.begin(), events.end(),
@@ -927,17 +953,19 @@ SimulationResult AsyncSimulation::run() {
     const auto agg_start = Clock::now();
     double staleness_acc = 0.0;
     if (barrier) {
-      // The sync path, bit for bit: outcomes in selection-slot order
-      // through fl::aggregate under the strategy's rule.
-      std::vector<ClientOutcome> outcomes;
-      outcomes.reserve(batch.size());
-      for (PendingUpdate& up : batch) outcomes.push_back(std::move(up.outcome));
-      aggregate(global, outcomes, strategy_->aggregation_rule());
+      // The sync path, bit for bit: compact outcomes in selection-slot
+      // order through the fused committer under the strategy's rule — per
+      // coordinate the double adds land in the same order with the same
+      // operands as fl::aggregate on the dense decode (the goldens pin it).
+      std::vector<FusedUpdate> fused(batch.size());
       for (std::size_t i = 0; i < batch.size(); ++i) {
-        batch[i].outcome = std::move(outcomes[i]);
+        fused[i].update = &batch[i].outcome.compact;
+        fused[i].weight = static_cast<double>(batch[i].outcome.samples);
+        fused[i].is_update = batch[i].outcome.is_update;
       }
+      sharded.aggregate(global, fused, strategy_->aggregation_rule());
     } else {
-      staleness_merge(global, batch, cfg_.staleness, version);
+      staleness_merge(sharded, global, batch, cfg_.staleness, version);
       for (const PendingUpdate& up : batch) {
         staleness_acc += static_cast<double>(version - up.dispatch_version);
       }
@@ -960,14 +988,14 @@ SimulationResult AsyncSimulation::run() {
       rec.uplink_bytes_max = std::max(rec.uplink_bytes_max, o.uplink_bytes);
       rec.lttr_seconds = std::max(rec.lttr_seconds, o.train_seconds);
       rec.upload_seconds = std::max(rec.upload_seconds, up.upload_seconds);
+      // The dispatch-time download was timed on this same broadcast size
+      // (the downlink is one dense f32 frame per version, constant for the
+      // run), so up.download_seconds is bit-equal to re-deriving it from
+      // the client's profile here.
+      rec.download_seconds = std::max(rec.download_seconds, up.download_seconds);
     }
     rec.train_loss = loss_acc / static_cast<double>(batch.size());
     rec.downlink_bytes = downlink_bytes;
-    for (const PendingUpdate& up : batch) {
-      rec.download_seconds = std::max(
-          rec.download_seconds,
-          profiles[up.outcome.client_id].download_seconds(rec.downlink_bytes));
-    }
     rec.aggregate_seconds = agg_seconds;
     rec.clock_seconds = sched.now();
     rec.mean_staleness = staleness_acc / static_cast<double>(batch.size());
@@ -1023,22 +1051,29 @@ SimulationResult AsyncSimulation::run() {
     PendingUpdate up = std::move(*job.pending);
     job.pending.reset();
     // The upload has arrived: decode the payload on the engine thread into
-    // the dense values + packed presence the aggregator consumes, record the
-    // measured uplink size, and drop the raw bytes. Abandoned uploads never
-    // reach this point, so their bytes are only ever counted in the
+    // the compact O(transmitted) view the fused committer consumes, record
+    // the measured uplink size, and drop the raw bytes. Abandoned uploads
+    // never reach this point, so their bytes are only ever counted in the
     // wasted-uplink ledger. Fault sessions decode through the non-throwing
     // path — deliver() only forwards frames whose CRC verifies, so a
     // failure here is engine corruption, not client noise.
     if (faulty) {
-      const DecodeStatus status = try_decode_outcome(
+      const DecodeStatus status = try_decode_outcome_compact(
           *strategy_, global_model->store(), up.outcome, /*framed=*/true,
           DecodeContext{job.client, job.dispatch_index, sched.now()});
       FEDBIAD_CHECK(status.ok, status.error);
     } else {
-      decode_outcome(*strategy_, global_model->store(), up.outcome);
+      decode_outcome_compact(*strategy_, global_model->store(), up.outcome);
     }
     up.outcome.payload.bytes = {};
     auto batch = aggregator->offer(std::move(up));
+    // The dispatch is resolved; retire its record. A scheduled duplicate
+    // delivery may still hold a pointer — hand the release to its handler.
+    if (job.duplicate_event != EventScheduler::kNoEvent) {
+      job.release_on_duplicate = true;
+    } else {
+      registry.release(&job);
+    }
     if (scenario && barrier) {
       FEDBIAD_CHECK(batch.empty(), "scenario barrier must not self-release");
       FEDBIAD_CHECK(wave_outstanding > 0, "arrival outside a wave");
@@ -1089,9 +1124,13 @@ SimulationResult AsyncSimulation::run() {
       // otherwise report 0. It is a pure function of the model, so restore
       // it from the same oracle the lazy path is checked against.
       downlink_bytes = strategy_->downlink_bytes(n);
+      // Snapshot events reference jobs by index in snap.jobs; the leased
+      // records are collected in that order so the indices resolve.
+      std::vector<Job*> restored;
+      restored.reserve(snap.jobs.size());
       for (const checkpoint::JobSnapshot& js : snap.jobs) {
-        jobs.emplace_back();
-        Job& job = jobs.back();
+        Job& job = *registry.acquire();
+        restored.push_back(&job);
         job.client = static_cast<std::size_t>(js.client);
         job.slot = static_cast<std::size_t>(js.slot);
         job.version = static_cast<std::size_t>(js.version);
@@ -1119,7 +1158,7 @@ SimulationResult AsyncSimulation::run() {
           up->compute_seconds = job.compute_s;
           up->download_seconds = job.download_s;
           up->upload_seconds =
-              profiles[job.client].upload_seconds(out.payload.size());
+              registry.profile(job.client).upload_seconds(out.payload.size());
           up->outcome = std::move(out);
           job.pending = std::move(up);
         } else {
@@ -1130,7 +1169,7 @@ SimulationResult AsyncSimulation::run() {
           ready.set_value(std::move(out));
           job.future = ready.get_future().share();
         }
-        busy[job.client] = &job;
+        mark_busy(job.client, &job);
       }
       for (const checkpoint::EventSnapshot& ev : snap.events) {
         if (ev.job_index != checkpoint::kNoJob) {
@@ -1139,20 +1178,20 @@ SimulationResult AsyncSimulation::run() {
         }
         switch (ev.kind) {
           case checkpoint::EventKind::kTraining: {
-            Job* jp = &jobs[ev.job_index];
+            Job* jp = restored[ev.job_index];
             jp->training_event =
                 sched.schedule_at(ev.time, [&, jp] { on_training_done(*jp); });
             break;
           }
           case checkpoint::EventKind::kDelivery: {
-            Job* jp = &jobs[ev.job_index];
+            Job* jp = restored[ev.job_index];
             jp->arrival_time = ev.time;
             jp->arrival_event =
                 sched.schedule_at(ev.time, [&, jp] { deliver(*jp); });
             break;
           }
           case checkpoint::EventKind::kChurnAbandon: {
-            Job* jp = &jobs[ev.job_index];
+            Job* jp = restored[ev.job_index];
             const std::uint64_t wasted = ev.aux;
             jp->arrival_time = ev.time;
             jp->churn_wasted = wasted;
@@ -1161,24 +1200,26 @@ SimulationResult AsyncSimulation::run() {
             break;
           }
           case checkpoint::EventKind::kDeadline: {
-            Job* jp = &jobs[ev.job_index];
+            Job* jp = restored[ev.job_index];
             jp->deadline_event =
                 sched.schedule_at(ev.time, [&, jp] { on_deadline(*jp); });
             break;
           }
           case checkpoint::EventKind::kDuplicate: {
-            // Carried by a fresh job record so a later checkpoint of the
-            // resumed run finds it in the duplicate scan above.
-            jobs.emplace_back();
-            Job& dup = jobs.back();
+            // Carried by a fresh leased record so a later checkpoint of the
+            // resumed run finds it in the duplicate scan above; the handler
+            // releases it once the duplicate is charged.
+            Job& dup = *registry.acquire();
             dup.framed_bytes = ev.aux;
             dup.duplicate_time = ev.time;
+            dup.release_on_duplicate = true;
             Job* dp = &dup;
             dup.duplicate_event = sched.schedule_at(ev.time, [&, dp] {
               dp->duplicate_event = EventScheduler::kNoEvent;
               ++rejected_deliveries_total;
               rejected_bytes_total += dp->framed_bytes;
               round_rejected_bytes += dp->framed_bytes;
+              if (dp->release_on_duplicate) registry.release(dp);
             });
             break;
           }
@@ -1207,9 +1248,9 @@ SimulationResult AsyncSimulation::run() {
   while (version < base.rounds && sched.run_next()) {
   }
   FEDBIAD_CHECK(version == base.rounds, "event queue drained early");
-  for (Job& job : jobs) {
+  registry.for_each_active([](Job& job) {
     if (job.future.valid()) job.future.wait();
-  }
+  });
 
   result.total_dispatched = dispatched;
   result.total_committed = committed_total;
@@ -1220,6 +1261,8 @@ SimulationResult AsyncSimulation::run() {
   result.total_wasted_uplink_bytes = wasted_uplink_total;
   result.final_in_flight = busy.size();
   result.final_buffered = aggregator->buffered();
+  result.peak_in_flight_states = registry.peak_active();
+  result.materialized_states = registry.materialized();
 
   result.final_params = std::move(global);
   return result;

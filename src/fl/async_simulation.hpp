@@ -129,7 +129,14 @@ class AsyncSimulation {
   nn::ModelFactory factory_;
   data::DatasetPtr train_data_;
   data::DatasetPtr test_data_;
-  data::Partition partition_;
+  // The dense data::Partition costs 24 bytes per registered client even for
+  // an empty shard, which at 1M+ populations dominates engine memory. The
+  // constructor compacts it: only populated clients' shard lists are kept
+  // (aligned with the ascending id list), so steady-state footprint is
+  // O(populated), matching the registry's O(active) ClientState contract.
+  std::size_t population_;
+  std::vector<std::size_t> populated_;             ///< ascending client ids
+  std::vector<std::vector<std::size_t>> shards_;   ///< aligned with populated_
   StrategyPtr strategy_;
 };
 

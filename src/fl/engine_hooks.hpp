@@ -60,6 +60,13 @@ class EngineHooks {
   [[nodiscard]] virtual bool client_available(std::size_t client,
                                               double now) = 0;
 
+  /// True when client_available returns true for every (client, now) —
+  /// e.g. a faults-only scenario with no availability process. Lets the
+  /// engine replace its O(population) availability scans with O(log)
+  /// idle-set order statistics while drawing identical selections; false
+  /// (the conservative default) keeps the scan.
+  [[nodiscard]] virtual bool always_available() const { return false; }
+
   /// Earliest virtual time >= now at which `client` is available. Used to
   /// schedule a dispatch retry when nobody is available; must be finite for
   /// every client (scenario validation guarantees the process turns on).

@@ -1,0 +1,229 @@
+#include "fl/fused_aggregate.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <utility>
+
+#include "common/check.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace fedbiad::fl {
+
+namespace {
+
+constexpr std::size_t kWordBits = wire::Bitset::kWordBits;
+
+/// Emits `emit(i, v)` for every transmitted coordinate i of `u` inside
+/// [begin, end), in ascending i — the same visitation order (and therefore
+/// the same double-add order downstream) as the dense kernel's presence
+/// word walk, which skips all-zero words, takes a branch-free run through
+/// all-ones words, and walks mixed words via countr_zero.
+template <typename Emit>
+void walk_bitmap(const wire::CompactUpdate& u, std::size_t begin,
+                 std::size_t end, Emit&& emit) {
+  const std::span<const std::uint64_t> words = u.present.words();
+  const float* vals = u.values.data();
+  std::size_t c = u.rank(begin);
+  std::size_t i = begin;
+  for (; i < end && i % kWordBits != 0; ++i) {
+    if (u.present.test(i)) emit(i, vals[c++]);
+  }
+  for (; i + kWordBits <= end; i += kWordBits) {
+    std::uint64_t bits = words[i / kWordBits];
+    if (bits == 0) continue;
+    if (bits == ~std::uint64_t{0}) {
+      for (std::size_t t = 0; t < kWordBits; ++t) emit(i + t, vals[c++]);
+      continue;
+    }
+    while (bits != 0) {
+      const auto t = static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      emit(i + t, vals[c++]);
+    }
+  }
+  for (; i < end; ++i) {
+    if (u.present.test(i)) emit(i, vals[c++]);
+  }
+}
+
+template <typename Emit>
+void walk_block(const wire::CompactUpdate& u, std::size_t begin,
+                std::size_t end, Emit&& emit) {
+  using Form = wire::CompactUpdate::Form;
+  switch (u.form) {
+    case Form::kEmpty:
+      return;
+    case Form::kDense: {
+      const float* vals = u.values.data();
+      for (std::size_t i = begin; i < end; ++i) emit(i, vals[i]);
+      return;
+    }
+    case Form::kBitmap:
+      walk_bitmap(u, begin, end, emit);
+      return;
+    case Form::kSparse: {
+      const auto first =
+          std::lower_bound(u.indices.begin(), u.indices.end(),
+                           static_cast<std::uint32_t>(begin));
+      const float* vals = u.values.data();
+      for (std::size_t c = static_cast<std::size_t>(first - u.indices.begin());
+           c < u.indices.size() && u.indices[c] < end; ++c) {
+        emit(u.indices[c], vals[c]);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+/// One shard's accumulator pair. Each panel is its own 64-byte-aligned
+/// allocation, so two chunks committing concurrently never write the same
+/// cache line.
+struct alignas(64) ShardedAccumulator::Panel {
+  std::array<double, kBlock> acc;
+  std::array<double, kBlock> present_weight;
+};
+
+ShardedAccumulator::ShardedAccumulator() = default;
+ShardedAccumulator::~ShardedAccumulator() = default;
+
+class ShardedAccumulator::PanelLease {
+ public:
+  explicit PanelLease(ShardedAccumulator& owner)
+      : owner_(owner), panel_(owner.lease_panel()) {}
+  ~PanelLease() { owner_.restore_panel(std::move(panel_)); }
+  PanelLease(const PanelLease&) = delete;
+  PanelLease& operator=(const PanelLease&) = delete;
+
+  [[nodiscard]] Panel& get() noexcept { return *panel_; }
+
+ private:
+  ShardedAccumulator& owner_;
+  std::unique_ptr<Panel> panel_;
+};
+
+std::unique_ptr<ShardedAccumulator::Panel> ShardedAccumulator::lease_panel() {
+  {
+    std::scoped_lock lock(mutex_);
+    if (!free_panels_.empty()) {
+      auto panel = std::move(free_panels_.back());
+      free_panels_.pop_back();
+      return panel;
+    }
+  }
+  return std::make_unique<Panel>();
+}
+
+void ShardedAccumulator::restore_panel(std::unique_ptr<Panel> panel) {
+  std::scoped_lock lock(mutex_);
+  free_panels_.push_back(std::move(panel));
+}
+
+void ShardedAccumulator::aggregate(std::span<float> global_params,
+                                   std::span<const FusedUpdate> updates,
+                                   AggregationRule rule) {
+  FEDBIAD_CHECK(!updates.empty(), "aggregate with no client outcomes");
+  const std::size_t n = global_params.size();
+  const bool is_update = updates.front().is_update;
+  double total_weight = 0.0;
+  for (const FusedUpdate& u : updates) {
+    FEDBIAD_CHECK(u.update != nullptr && u.update->size() == n,
+                  "client outcome size mismatch");
+    FEDBIAD_CHECK(u.is_update == is_update,
+                  "cannot mix parameter and update outcomes");
+    FEDBIAD_CHECK(u.weight > 0.0, "client outcome without samples");
+    total_weight += u.weight;
+  }
+
+  parallel::parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        PanelLease lease(*this);
+        double* acc = lease.get().acc.data();
+        double* present_weight = lease.get().present_weight.data();
+        for (std::size_t b0 = begin; b0 < end; b0 += kBlock) {
+          const std::size_t len = std::min(kBlock, end - b0);
+          std::fill_n(acc, len, 0.0);
+          std::fill_n(present_weight, len, 0.0);
+          for (const FusedUpdate& u : updates) {
+            const double w = u.weight;
+            walk_block(*u.update, b0, b0 + len, [&](std::size_t i, float v) {
+              acc[i - b0] += w * static_cast<double>(v);
+              present_weight[i - b0] += w;
+            });
+          }
+          float* g = global_params.data() + b0;
+          if (is_update) {
+            for (std::size_t i = 0; i < len; ++i) {
+              const double denom = rule == AggregationRule::kMaskedAverage
+                                       ? total_weight
+                                       : present_weight[i];
+              if (denom > 0.0) g[i] += static_cast<float>(acc[i] / denom);
+            }
+          } else if (rule == AggregationRule::kMaskedAverage) {
+            for (std::size_t i = 0; i < len; ++i) {
+              g[i] = static_cast<float>(acc[i] / total_weight);
+            }
+          } else {
+            for (std::size_t i = 0; i < len; ++i) {
+              if (present_weight[i] > 0.0) {
+                g[i] = static_cast<float>(acc[i] / present_weight[i]);
+              }
+            }
+          }
+        }
+      },
+      updates.size() * 2);
+}
+
+void ShardedAccumulator::merge(std::span<float> global_params,
+                               std::span<const FusedUpdate> updates,
+                               double mixing_rate) {
+  FEDBIAD_CHECK(!updates.empty(), "staleness merge with no updates");
+  const std::size_t n = global_params.size();
+  for (const FusedUpdate& u : updates) {
+    FEDBIAD_CHECK(u.update != nullptr && u.update->size() == n,
+                  "client outcome size mismatch (payload not decoded?)");
+    FEDBIAD_CHECK(u.weight > 0.0, "client outcome without samples");
+  }
+
+  parallel::parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        PanelLease lease(*this);
+        double* acc = lease.get().acc.data();
+        double* weight = lease.get().present_weight.data();
+        for (std::size_t b0 = begin; b0 < end; b0 += kBlock) {
+          const std::size_t len = std::min(kBlock, end - b0);
+          std::fill_n(acc, len, 0.0);
+          std::fill_n(weight, len, 0.0);
+          for (const FusedUpdate& u : updates) {
+            const double w = u.weight;
+            const bool upd = u.is_update;
+            // The global is read here and stepped only in the write-back
+            // below, so every update's delta sees the pre-merge value —
+            // the same read/write schedule as the coordinate-outer
+            // reference merge.
+            walk_block(*u.update, b0, b0 + len, [&](std::size_t i, float vf) {
+              const double v = static_cast<double>(vf);
+              const double delta =
+                  upd ? v : v - static_cast<double>(global_params[i]);
+              acc[i - b0] += w * delta;
+              weight[i - b0] += w;
+            });
+          }
+          float* g = global_params.data() + b0;
+          for (std::size_t i = 0; i < len; ++i) {
+            if (weight[i] > 0.0) {
+              g[i] += static_cast<float>(mixing_rate * acc[i] / weight[i]);
+            }
+          }
+        }
+      },
+      updates.size() * 2);
+}
+
+}  // namespace fedbiad::fl

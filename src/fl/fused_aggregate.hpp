@@ -1,0 +1,83 @@
+// Fused decode→aggregate: commits compact client updates straight into the
+// global model without ever materializing a dense per-client value vector.
+//
+// fl::aggregate (aggregate.hpp) streams dense length-N `values`/`present`
+// pairs — O(model) bytes per pending client, which is what caps how many
+// uploads the event-driven engine can hold in flight. The fused path takes
+// wire::CompactUpdate views (O(transmitted) each) and accumulates them with
+// the *identical* floating-point operation sequence: coordinate blocks
+// outer, clients middle in batch order, coordinates inner ascending, every
+// contribution added as `w * (double)v` into a double panel exactly as the
+// dense kernel does. Per coordinate the adds land in the same order with
+// the same operands, so the committed global is bit-identical to the dense
+// path — tests/test_scale.cpp pins this per payload form, and the 12
+// engine goldens pin it end to end.
+//
+// ShardedAccumulator owns the per-block accumulator panels: each parallel
+// chunk leases a cache-aligned panel pair from a free list, so concurrent
+// commits never share an accumulator cache line (no false sharing) and the
+// allocations persist across rounds instead of being rebuilt per commit.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "fl/strategy.hpp"
+#include "wire/compact.hpp"
+
+namespace fedbiad::fl {
+
+/// One pending update as the fused committer sees it: a borrowed compact
+/// view plus the already-resolved aggregation weight. The caller owns the
+/// CompactUpdate; it must outlive the commit call.
+struct FusedUpdate {
+  const wire::CompactUpdate* update = nullptr;
+  /// Aggregation weight: |D_k| for the FedAvg-style rules, or the
+  /// staleness-damped |D_k|·(1+τ)^-a for the async merge.
+  double weight = 0.0;
+  bool is_update = false;  ///< delta payload vs full-parameter payload
+};
+
+class ShardedAccumulator {
+ public:
+  /// Coordinates per accumulator block. Equals the dense kernel's block and
+  /// CompactUpdate::kRankStride, so a block start costs one rank-directory
+  /// probe.
+  static constexpr std::size_t kBlock = 4096;
+
+  // Out of line: Panel is incomplete here, and both special members
+  // instantiate the panel vector's destructor.
+  ShardedAccumulator();
+  ~ShardedAccumulator();
+  ShardedAccumulator(const ShardedAccumulator&) = delete;
+  ShardedAccumulator& operator=(const ShardedAccumulator&) = delete;
+
+  /// FedAvg-style commit: mirrors fl::aggregate bit for bit. `weight` must
+  /// be each update's sample count (the dense kernel derives it from
+  /// ClientOutcome::samples); total weight is their sum in batch order.
+  void aggregate(std::span<float> global_params,
+                 std::span<const FusedUpdate> updates, AggregationRule rule);
+
+  /// Staleness-weighted merge (FedAsync / FedBuff): mirrors the engine's
+  /// coordinate-outer merge bit for bit. Every update becomes a delta
+  /// against the current global (parameter payloads subtract it), deltas
+  /// are weight-averaged per coordinate over the transmitting clients, and
+  /// the global takes a mixing_rate-sized step along the mean.
+  void merge(std::span<float> global_params,
+             std::span<const FusedUpdate> updates, double mixing_rate);
+
+ private:
+  struct Panel;
+  class PanelLease;
+
+  [[nodiscard]] std::unique_ptr<Panel> lease_panel();
+  void restore_panel(std::unique_ptr<Panel> panel);
+
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<Panel>> free_panels_;
+};
+
+}  // namespace fedbiad::fl

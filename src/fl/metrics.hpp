@@ -81,6 +81,12 @@ struct SimulationResult {
   /// is a rejected delivery of an otherwise committed dispatch.
   std::size_t total_rejected_deliveries = 0;
   std::uint64_t total_rejected_bytes = 0;
+  /// Registry telemetry (event-driven runs): the high-water mark of
+  /// simultaneously leased ClientState records and the records ever
+  /// materialized. The scale tests pin both to in-flight concurrency —
+  /// independent of the registered population and of total dispatches.
+  std::size_t peak_in_flight_states = 0;
+  std::size_t materialized_states = 0;
 
   /// Fraction of dispatched uploads that never aggregated — abandoned
   /// (churn/deadline) or terminally rejected (0 when nothing was

@@ -13,6 +13,11 @@ wire::Decoded Strategy::decode_payload(const nn::ParameterStore& layout,
   return wire::decode_update(layout, payload);
 }
 
+wire::CompactUpdate Strategy::decode_payload_compact(
+    const nn::ParameterStore& layout, const wire::Payload& payload) const {
+  return wire::decode_update_compact(layout, payload);
+}
+
 std::vector<std::uint8_t> Strategy::save_state() const { return {}; }
 
 void Strategy::load_state(std::span<const std::uint8_t> bytes) {
@@ -63,6 +68,50 @@ DecodeStatus try_decode_outcome(const Strategy& strategy,
                   "decoded update does not match the model layout");
     out.values = std::move(decoded.values);
     out.present = std::move(decoded.present);
+    out.uplink_bytes = wire_size;
+    return {};
+  } catch (const wire::DecodeError& e) {
+    return {false, wrap(e.what())};
+  } catch (const CheckError& e) {
+    return {false, wrap(e.what())};
+  }
+}
+
+void decode_outcome_compact(const Strategy& strategy,
+                            const nn::ParameterStore& layout,
+                            ClientOutcome& out) {
+  FEDBIAD_CHECK(out.values.empty() && out.present.size() == 0 &&
+                    out.compact.empty(),
+                "outcome already decoded — uplink bytes would double-count");
+  wire::CompactUpdate compact = strategy.decode_payload_compact(layout,
+                                                                out.payload);
+  FEDBIAD_CHECK(compact.size() == layout.size() && !compact.empty(),
+                "decoded update does not match the model layout");
+  out.compact = std::move(compact);
+  out.uplink_bytes = out.payload.size();
+}
+
+DecodeStatus try_decode_outcome_compact(const Strategy& strategy,
+                                        const nn::ParameterStore& layout,
+                                        ClientOutcome& out, bool framed,
+                                        const DecodeContext& ctx) {
+  FEDBIAD_CHECK(out.values.empty() && out.present.size() == 0 &&
+                    out.compact.empty(),
+                "outcome already decoded — uplink bytes would double-count");
+  const std::uint64_t wire_size = out.payload.size();
+  auto wrap = [&ctx](const char* what) {
+    std::ostringstream os;
+    os << "upload from client " << ctx.client_id << " (dispatch "
+       << ctx.dispatch_seq << ", t=" << ctx.clock << "s) rejected: " << what;
+    return os.str();
+  };
+  try {
+    if (framed) wire::strip_seal(out.payload);
+    wire::CompactUpdate compact =
+        strategy.decode_payload_compact(layout, out.payload);
+    FEDBIAD_CHECK(compact.size() == layout.size() && !compact.empty(),
+                  "decoded update does not match the model layout");
+    out.compact = std::move(compact);
     out.uplink_bytes = wire_size;
     return {};
   } catch (const wire::DecodeError& e) {

@@ -14,6 +14,7 @@
 #include "nn/optimizer.hpp"
 #include "tensor/rng.hpp"
 #include "wire/bitset.hpp"
+#include "wire/compact.hpp"
 #include "wire/update_codec.hpp"
 
 namespace fedbiad::fl {
@@ -41,6 +42,10 @@ struct ClientOutcome {
   wire::Payload payload;    ///< the client's encoded upload
   std::vector<float> values;  ///< decoded by the server (engine thread)
   wire::Bitset present;       ///< decoded by the server (engine thread)
+  /// The O(transmitted) decode used by the event-driven engine's fused
+  /// aggregation path (decode_outcome_compact). Mutually exclusive with
+  /// `values`/`present` — an outcome is decoded through exactly one view.
+  wire::CompactUpdate compact;
   bool is_update = false;
   std::uint64_t uplink_bytes = 0;  ///< measured: payload.size()
   double train_seconds = 0.0;  ///< local wall time (LTTR contribution)
@@ -103,6 +108,14 @@ class Strategy {
   /// (FjORD/HeteroFL's width plan, the composed dropout+compressor framing)
   /// override it.
   [[nodiscard]] virtual wire::Decoded decode_payload(
+      const nn::ParameterStore& layout, const wire::Payload& payload) const;
+
+  /// Compact counterpart of decode_payload: the same decode (identical
+  /// validation, bit-identical values at bit-identical coordinates — pinned
+  /// by tests/test_scale.cpp) delivered in O(transmitted) form. Strategies
+  /// that override decode_payload must override this too so the two views
+  /// never diverge; the default routes through wire::decode_update_compact.
+  [[nodiscard]] virtual wire::CompactUpdate decode_payload_compact(
       const nn::ParameterStore& layout, const wire::Payload& payload) const;
 
   /// Called on the engine thread before clients start (round is 1-based).
@@ -193,5 +206,20 @@ struct DecodeStatus {
                                               const nn::ParameterStore& layout,
                                               ClientOutcome& out, bool framed,
                                               const DecodeContext& ctx);
+
+/// Compact receive step: like decode_outcome but fills `out.compact`
+/// instead of the dense `values`/`present` pair, so server-side memory per
+/// pending upload is O(transmitted) rather than O(model). Same
+/// single-decode guard and uplink accounting.
+void decode_outcome_compact(const Strategy& strategy,
+                            const nn::ParameterStore& layout,
+                            ClientOutcome& out);
+
+/// Non-throwing compact receive step (fault-tolerant sessions); mirrors
+/// try_decode_outcome exactly — same frame stripping, same charged bytes,
+/// same context-wrapped rejection strings — but decodes into `out.compact`.
+[[nodiscard]] DecodeStatus try_decode_outcome_compact(
+    const Strategy& strategy, const nn::ParameterStore& layout,
+    ClientOutcome& out, bool framed, const DecodeContext& ctx);
 
 }  // namespace fedbiad::fl

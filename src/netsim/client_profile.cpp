@@ -6,10 +6,7 @@
 
 namespace fedbiad::netsim {
 
-std::vector<ClientProfile> make_profiles(std::size_t n,
-                                         const HeterogeneityConfig& cfg,
-                                         const LinkModel& base,
-                                         tensor::Rng rng) {
+void check_heterogeneity(const HeterogeneityConfig& cfg) {
   FEDBIAD_CHECK(cfg.seconds_per_unit > 0.0, "seconds_per_unit must be > 0");
   FEDBIAD_CHECK(cfg.compute_spread >= 1.0, "compute_spread must be >= 1");
   FEDBIAD_CHECK(cfg.bandwidth_spread >= 1.0, "bandwidth_spread must be >= 1");
@@ -17,24 +14,35 @@ std::vector<ClientProfile> make_profiles(std::size_t n,
                 "straggler_fraction must be in [0, 1]");
   FEDBIAD_CHECK(cfg.straggler_multiplier >= 1.0,
                 "straggler_multiplier must be >= 1");
+}
 
-  std::vector<ClientProfile> profiles(n);
-  for (ClientProfile& p : profiles) {
-    p.seconds_per_unit = cfg.seconds_per_unit;
-    // Every profile consumes the same number of draws so that changing one
-    // knob (say straggler_fraction) never reshuffles the other dimensions.
-    const double compute_u = rng.uniform();
-    const double bandwidth_u = rng.uniform();
-    const double straggler_u = rng.uniform();
-    p.compute_multiplier = std::exp(compute_u * std::log(cfg.compute_spread));
-    if (straggler_u < cfg.straggler_fraction) {
-      p.compute_multiplier *= cfg.straggler_multiplier;
-    }
-    const double bw_scale =
-        std::exp(-bandwidth_u * std::log(cfg.bandwidth_spread));
-    p.link.up_mbps = base.up_mbps * bw_scale;
-    p.link.down_mbps = base.down_mbps * bw_scale;
+ClientProfile draw_profile(const HeterogeneityConfig& cfg,
+                           const LinkModel& base, tensor::Rng& rng) {
+  ClientProfile p;
+  p.seconds_per_unit = cfg.seconds_per_unit;
+  // Every profile consumes the same number of draws so that changing one
+  // knob (say straggler_fraction) never reshuffles the other dimensions.
+  const double compute_u = rng.uniform();
+  const double bandwidth_u = rng.uniform();
+  const double straggler_u = rng.uniform();
+  p.compute_multiplier = std::exp(compute_u * std::log(cfg.compute_spread));
+  if (straggler_u < cfg.straggler_fraction) {
+    p.compute_multiplier *= cfg.straggler_multiplier;
   }
+  const double bw_scale =
+      std::exp(-bandwidth_u * std::log(cfg.bandwidth_spread));
+  p.link.up_mbps = base.up_mbps * bw_scale;
+  p.link.down_mbps = base.down_mbps * bw_scale;
+  return p;
+}
+
+std::vector<ClientProfile> make_profiles(std::size_t n,
+                                         const HeterogeneityConfig& cfg,
+                                         const LinkModel& base,
+                                         tensor::Rng rng) {
+  check_heterogeneity(cfg);
+  std::vector<ClientProfile> profiles(n);
+  for (ClientProfile& p : profiles) p = draw_profile(cfg, base, rng);
   return profiles;
 }
 

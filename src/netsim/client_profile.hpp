@@ -61,6 +61,19 @@ struct HeterogeneityConfig {
   }
 };
 
+/// Validates a heterogeneity config (throws CheckError on a bad field).
+/// Shared by make_profiles and lazy-profile callers so every entry point
+/// enforces the same invariants.
+void check_heterogeneity(const HeterogeneityConfig& cfg);
+
+/// Draws one client profile, consuming exactly three uniforms from `rng`
+/// regardless of the config — the fixed draw budget is the determinism
+/// contract that lets a lazy materializer (fl::ClientRegistry) reconstruct
+/// client i's profile from a saved stream state without drawing the i-1
+/// profiles before it. make_profiles is a loop over this function.
+ClientProfile draw_profile(const HeterogeneityConfig& cfg,
+                           const LinkModel& base, tensor::Rng& rng);
+
 /// Draws `n` client profiles from `rng`. Deterministic: the same (config,
 /// base link, rng state) always yields the same fleet. With the default
 /// config every profile equals the base link at multiplier 1.

@@ -205,6 +205,10 @@ class ScenarioHooks final : public fl::EngineHooks {
     return availability_.available(client, now);
   }
 
+  [[nodiscard]] bool always_available() const override {
+    return availability_.trivial();
+  }
+
   [[nodiscard]] double next_available_time(std::size_t client,
                                            double now) override {
     return availability_.next_available_time(client, now);

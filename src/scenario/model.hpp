@@ -29,6 +29,10 @@ class AvailabilityModel {
   AvailabilityModel(std::optional<AvailabilityConfig> cfg, std::uint64_t seed,
                     std::size_t clients);
 
+  /// True when the model is the trivial always-on one (no
+  /// AvailabilityConfig): available() returns true for every (client, t).
+  [[nodiscard]] bool trivial() const noexcept { return !cfg_.has_value(); }
+
   /// Is `client` dispatchable at virtual time `t`?
   [[nodiscard]] bool available(std::size_t client, double t);
 

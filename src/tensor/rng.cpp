@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <numbers>
+#include <unordered_map>
 
 #include "common/check.hpp"
 
@@ -121,6 +122,27 @@ void Rng::set_state(const State& state) noexcept {
 std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
                                                          std::size_t k) {
   FEDBIAD_CHECK(k <= n, "cannot sample more items than the population");
+  // Both branches run the identical partial Fisher–Yates draw sequence
+  // (j = i + uniform_index(n - i)) and therefore return identical samples;
+  // only the bookkeeping differs. The sparse branch tracks just the
+  // displaced positions in a hash map, so selecting a small cohort from a
+  // million-client population costs O(k) memory instead of materializing
+  // the whole population as a pool.
+  if (k > 0 && n / 4 >= k) {
+    std::vector<std::size_t> out(k);
+    std::unordered_map<std::size_t, std::size_t> displaced;
+    displaced.reserve(k * 2);
+    auto value_at = [&](std::size_t pos) {
+      const auto it = displaced.find(pos);
+      return it == displaced.end() ? pos : it->second;
+    };
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + uniform_index(n - i);
+      out[i] = value_at(j);
+      displaced[j] = value_at(i);
+    }
+    return out;
+  }
   std::vector<std::size_t> pool(n);
   for (std::size_t i = 0; i < n; ++i) pool[i] = i;
   for (std::size_t i = 0; i < k; ++i) {

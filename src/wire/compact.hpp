@@ -1,0 +1,103 @@
+// Compact decoded client updates: the O(transmitted) server-side form.
+//
+// wire::Decoded materializes every update as a dense length-N float vector
+// (absent coordinates zeroed) plus a presence bitset — fine for a handful of
+// pending uploads, ruinous for thousands of concurrent in-flight clients on
+// a large model. A CompactUpdate stores only what the client actually
+// transmitted, in one of three forms:
+//
+//   kDense   every coordinate present; `values` holds all N floats and no
+//            presence structure is stored (the aggregator takes the all-ones
+//            word fast path unconditionally).
+//   kBitmap  `present` is the 1-bit-per-coordinate set and `values` holds
+//            the present coordinates' floats in ascending-coordinate (rank)
+//            order. A rank directory sampled every kRankStride bits makes
+//            rank(i) O(kRankStride / 64) so block-parallel aggregation can
+//            start mid-stream.
+//   kSparse  strictly ascending `indices` with parallel `values` — the
+//            natural form of the sparse/ternary wire kinds.
+//
+// decode_update_compact mirrors wire::decode_update kind for kind: the same
+// bounds checks, the same rejection of malformed buffers, and bit-identical
+// values at bit-identical coordinates — expand() of its result equals
+// decode_update's Decoded exactly (tests/test_scale.cpp pins this per kind).
+// It never allocates O(N) unless the payload itself carries O(N) data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/parameter_store.hpp"
+#include "wire/bitset.hpp"
+#include "wire/update_codec.hpp"
+
+namespace fedbiad::wire {
+
+struct CompactUpdate {
+  enum class Form : std::uint8_t { kEmpty, kDense, kBitmap, kSparse };
+
+  /// Rank-directory sampling interval in bits. Matches the aggregator's
+  /// coordinate block so a block start is at most one directory entry plus
+  /// kRankStride/64 word popcounts away.
+  static constexpr std::size_t kRankStride = 4096;
+
+  Form form = Form::kEmpty;
+  std::size_t coords = 0;  ///< model coordinate count N
+  Bitset present;          ///< kBitmap only
+  std::vector<std::uint32_t> indices;  ///< kSparse only, strictly ascending
+  std::vector<float> values;
+  /// kBitmap: rank_directory[j] = number of set bits in [0, j·kRankStride).
+  std::vector<std::uint32_t> rank_directory;
+
+  [[nodiscard]] std::size_t size() const noexcept { return coords; }
+  [[nodiscard]] bool empty() const noexcept { return form == Form::kEmpty; }
+
+  /// Number of transmitted coordinates.
+  [[nodiscard]] std::size_t transmitted() const noexcept {
+    switch (form) {
+      case Form::kEmpty:
+        return 0;
+      case Form::kDense:
+        return coords;
+      case Form::kBitmap:
+      case Form::kSparse:
+        return values.size();
+    }
+    return 0;
+  }
+
+  /// kBitmap: index into `values` of the first present coordinate >= i,
+  /// i.e. the popcount of `present` over [0, i). Uses the rank directory
+  /// plus at most kRankStride/64 word popcounts.
+  [[nodiscard]] std::size_t rank(std::size_t i) const;
+
+  /// Rebuilds the rank directory from `present` (kBitmap only; no-op for
+  /// the other forms). Decoders call this; code that fills `present` by
+  /// hand must call it before aggregation.
+  void build_rank_directory();
+
+  /// Frees everything and returns to kEmpty.
+  void clear();
+};
+
+/// Decodes a payload against `layout` into compact form. Same contract as
+/// decode_update (same kinds, same `candidates` narrowing for
+/// kSignMean/kInt8Dense, same DecodeError rejection of malformed buffers),
+/// without ever building the dense per-client value vector. kSubModel still
+/// needs the strategy's width plan — route through
+/// Strategy::decode_payload_compact.
+[[nodiscard]] CompactUpdate decode_update_compact(
+    const nn::ParameterStore& layout, const Payload& payload,
+    const Bitset* candidates = nullptr);
+
+/// Expands to the dense Decoded form (absent coordinates zeroed). The
+/// bridge for code that still wants the wide view; for any payload,
+/// expand(decode_update_compact(p)) == decode_update(p).
+[[nodiscard]] Decoded expand(const CompactUpdate& update);
+
+/// Compacts an already-dense decode — the adapter for strategies whose
+/// decoder is inherently dense (FjORD/HeteroFL's sub-model plan). All
+/// present → kDense (steals the vector, no copy); otherwise kBitmap.
+[[nodiscard]] CompactUpdate compact_from_decoded(Decoded decoded);
+
+}  // namespace fedbiad::wire
