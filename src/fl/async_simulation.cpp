@@ -101,11 +101,11 @@ class BufferedAggregator final : public AsyncAggregator {
   std::vector<PendingUpdate> held_;
 };
 
-/// Staleness-weighted merge (FedAsync / FedBuff semantics): every update is
-/// turned into a delta against the *current* global (parameter-type
-/// outcomes subtract it, update-type outcomes already are one), deltas are
-/// averaged per coordinate over the transmitting clients with weight
-/// |D_k| · (1+τ_k)^-a, and the global takes an α-sized step along the mean.
+}  // namespace
+
+// Out of the anonymous namespace: the transport server runtime commits its
+// async batches through this exact function (declared in the header), so the
+// engine and the wire path share one floating-point operation sequence.
 void staleness_merge(ShardedAccumulator& acc, std::span<float> global,
                      const std::vector<PendingUpdate>& batch,
                      const StalenessConfig& cfg, std::size_t commit_version) {
@@ -124,8 +124,6 @@ void staleness_merge(ShardedAccumulator& acc, std::span<float> global,
   }
   acc.merge(global, fused, cfg.mixing_rate);
 }
-
-}  // namespace
 
 const char* to_string(AggregationMode mode) {
   switch (mode) {

@@ -84,6 +84,19 @@ class AsyncAggregator {
   [[nodiscard]] virtual std::size_t buffered() const = 0;
 };
 
+class ShardedAccumulator;
+
+/// Staleness-weighted merge (FedAsync / FedBuff semantics): every update is
+/// turned into a delta against the *current* global (parameter-type
+/// outcomes subtract it, update-type outcomes already are one), deltas are
+/// averaged per coordinate over the transmitting clients with weight
+/// |D_k| · (1+τ_k)^-a, and the global takes an α-sized step along the mean.
+/// Shared by the event-driven engine and the transport server runtime
+/// (src/transport/server_runtime.cpp) so the two commit paths cannot drift.
+void staleness_merge(ShardedAccumulator& acc, std::span<float> global,
+                     const std::vector<PendingUpdate>& batch,
+                     const StalenessConfig& cfg, std::size_t commit_version);
+
 /// Barrier: commit when all `wave_size` updates of the wave have arrived,
 /// ordered by selection slot — the sync engine's semantics.
 std::unique_ptr<AsyncAggregator> make_barrier_aggregator(std::size_t wave_size);

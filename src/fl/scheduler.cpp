@@ -1,6 +1,7 @@
 #include "fl/scheduler.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "common/check.hpp"
@@ -49,6 +50,22 @@ bool EventScheduler::run_next() {
 void EventScheduler::run() {
   while (run_next()) {
   }
+}
+
+double EventScheduler::next_time() {
+  while (!heap_.empty()) {
+    const Event& top = heap_.front();
+    if (cancelled_.erase(top.id) == 0) return top.time;
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+void EventScheduler::advance_to(double time) {
+  FEDBIAD_CHECK(time >= now_, "cannot advance the clock backwards");
+  while (next_time() <= time) run_next();
+  now_ = time;
 }
 
 void EventScheduler::set_now(double time) {

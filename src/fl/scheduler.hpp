@@ -62,6 +62,20 @@ class EventScheduler {
   /// Runs events until the queue is empty.
   void run();
 
+  /// Time of the earliest runnable event, or +infinity when none is pending.
+  /// Non-const: cancelled events sitting on top of the heap are dropped
+  /// lazily here (they must never shape a caller's wait). This is the
+  /// wall-clock adapter hook: a transport event loop asks how long it may
+  /// block in epoll_wait/poll before a scheduled deadline is due.
+  [[nodiscard]] double next_time();
+
+  /// Runs every event scheduled at or before `time` in order, then advances
+  /// the clock to `time` (which must be >= now()). The second half of the
+  /// wall-clock adapter: a transport loop reads its monotonic clock and
+  /// advances the scheduler to it, so deadline math is the same
+  /// schedule/cancel/fire code path the virtual-clock engine uses.
+  void advance_to(double time);
+
   /// Jumps the clock to `time` (must be >= now() and the queue must be
   /// empty). Exists for checkpoint resume only: a restored scheduler starts
   /// from the snapshot's clock before its events are re-scheduled, so every

@@ -1,0 +1,132 @@
+// Federated client running behind a ClientTransport.
+//
+// The client half of the transport protocol, built to satisfy the
+// engine's exactly-once-training contract across arbitrary connection
+// loss:
+//
+//   - Training runs at most once per dispatch. Outcomes are cached keyed
+//     by the dispatch's rng stream (unique per dispatch in both engine
+//     modes), so a re-dispatched wave after a server crash-and-resume
+//     replays the cached upload instead of re-running run_client — which
+//     would corrupt per-client strategy state (FedBIAD's score vectors)
+//     and the trajectory.
+//   - The rng chain is the engine's: Rng(seed).split(0x1000 + client)
+//     .split(rng_stream), so a remote client's draws are bit-identical to
+//     the in-process simulation.
+//   - Reconnect loop: on disconnect the runtime re-dials with the last
+//     Welcome token; on resume it re-sends any un-acked upload (the
+//     server's duplicate-drop path absorbs the overlap with a re-sent
+//     Dispatch). A server unreachable past reconnect_timeout_seconds
+//     fails the client.
+//   - Chaos hooks for the robustness tests: deterministic payload
+//     corruption (seeded per client/dispatch/attempt, so retries can
+//     recover) and an abrupt-disconnect-after-N-uploads trigger.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "data/partition.hpp"
+#include "fl/simulation.hpp"
+#include "fl/strategy.hpp"
+#include "nn/model.hpp"
+#include "transport/clock.hpp"
+#include "transport/protocol.hpp"
+#include "transport/transport.hpp"
+#include "wire/update_codec.hpp"
+
+namespace fedbiad::transport {
+
+struct TransportClientConfig {
+  std::size_t client_id = 0;
+  /// Must match the server's config: seed drives the rng chain, train
+  /// drives local optimization.
+  fl::SimulationConfig base;
+  /// The strategy's session-scoped payload metadata, announced in Hello.
+  wire::PayloadKind payload_kind = wire::PayloadKind::kDenseF32;
+  std::uint8_t payload_aux = 0;
+  double reconnect_interval_seconds = 0.05;
+  /// Give up (failed()) after the server is unreachable this long.
+  double reconnect_timeout_seconds = 10.0;
+  /// Chaos: corrupt each upload attempt's payload with this probability,
+  /// deterministically keyed on (corrupt_seed, client, dispatch, attempt).
+  double corrupt_probability = 0.0;
+  std::uint64_t corrupt_seed = 0x5EED;
+  /// Chaos: abruptly drop the connection right after the Nth upload is
+  /// sent (0 = never). Fires once; the reconnect loop then takes over.
+  std::size_t drop_connection_after_uploads = 0;
+  /// Cached outcomes kept for replay (pruned oldest-first).
+  std::size_t outcome_cache_size = 8;
+};
+
+class ClientRuntime final : public ClientTransport::Handler {
+ public:
+  ClientRuntime(TransportClientConfig cfg, ClientTransport& transport,
+                nn::ModelFactory factory, data::DatasetPtr train_data,
+                std::vector<std::size_t> shard, fl::StrategyPtr strategy);
+
+  /// Dials and handshakes (retried from pump() if the server is down).
+  void start();
+
+  /// One slice: reconnect bookkeeping + transport step.
+  void pump(double max_wait_seconds);
+
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+
+  /// start() + pump until finished or failed. True on clean Fin.
+  bool run();
+
+  [[nodiscard]] std::size_t uploads_sent() const noexcept {
+    return uploads_sent_;
+  }
+  [[nodiscard]] std::size_t trainings_run() const noexcept {
+    return trainings_run_;
+  }
+  [[nodiscard]] std::size_t reconnects() const noexcept { return reconnects_; }
+
+  // ClientTransport::Handler
+  void on_frame(Frame&& frame) override;
+  void on_close(const std::string& reason) override;
+
+ private:
+  void try_connect();
+  void handle_dispatch(const DispatchMsg& msg);
+  void send_upload(std::uint64_t dispatch_index, const UploadMsg& upload);
+  [[nodiscard]] UploadMsg train(const DispatchMsg& msg);
+
+  TransportClientConfig cfg_;
+  ClientTransport& transport_;
+  data::DatasetPtr train_data_;
+  std::vector<std::size_t> shard_;
+  fl::StrategyPtr strategy_;
+  std::unique_ptr<nn::Model> model_;
+  tensor::Rng client_rng_base_;
+
+  MonotonicClock clock_;
+  std::uint64_t session_token_ = 0;
+  bool hello_sent_ = false;
+  bool finished_ = false;
+  bool failed_ = false;
+  double last_dial_ = -1.0;
+  std::optional<double> down_since_;  ///< set while disconnected
+
+  /// Cache of completed trainings keyed by rng stream; insertion order
+  /// kept for pruning.
+  std::unordered_map<std::uint64_t, UploadMsg> cache_;
+  std::deque<std::uint64_t> cache_order_;
+
+  std::optional<std::uint64_t> outstanding_;  ///< un-acked dispatch index
+  std::uint64_t outstanding_stream_ = 0;
+  std::size_t attempt_ = 1;  ///< upload attempt for the outstanding index
+
+  std::size_t uploads_sent_ = 0;
+  std::size_t trainings_run_ = 0;
+  std::size_t reconnects_ = 0;
+  bool drop_fired_ = false;
+};
+
+}  // namespace fedbiad::transport

@@ -1,0 +1,182 @@
+#include "transport/protocol.hpp"
+
+#include <utility>
+
+#include "wire/reader.hpp"
+#include "wire/writer.hpp"
+
+// GCC 12's -Warray-bounds misfires on the chain of small vector::resize
+// calls inlined from wire::Writer::fixed into the encoders below: it
+// reasons about the pre-resize capacity after the allocation branch was
+// folded. The writes are bounds-established by resize itself.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Warray-bounds"
+#endif
+
+namespace fedbiad::transport {
+namespace {
+
+// Byte runs are length-prefixed with a varint so a corrupt length cannot
+// silently swallow the rest of the body — the Reader bounds-check catches
+// it and the expect_done() below catches any shortfall.
+void put_bytes(wire::Writer& w, std::span<const std::uint8_t> b) {
+  w.varint(b.size());
+  w.bytes(b);
+}
+
+std::vector<std::uint8_t> get_bytes(wire::Reader& r) {
+  const std::uint64_t n = r.varint();
+  if (n > r.remaining()) throw wire::DecodeError("byte run truncated");
+  const auto span = r.bytes(static_cast<std::size_t>(n));
+  return {span.begin(), span.end()};
+}
+
+void put_string(wire::Writer& w, const std::string& s) {
+  w.varint(s.size());
+  w.bytes({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+std::string get_string(wire::Reader& r) {
+  const std::uint64_t n = r.varint();
+  if (n > r.remaining()) throw wire::DecodeError("string truncated");
+  const auto span = r.bytes(static_cast<std::size_t>(n));
+  return {reinterpret_cast<const char*>(span.data()), span.size()};
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const HelloMsg& m) {
+  wire::Writer w;
+  w.u64(m.client_id);
+  w.u64(m.session_token);
+  w.u8(m.payload_kind);
+  w.u8(m.payload_aux);
+  return std::move(w).take();
+}
+
+HelloMsg decode_hello(std::span<const std::uint8_t> body) {
+  wire::Reader r(body);
+  HelloMsg m;
+  m.client_id = r.u64();
+  m.session_token = r.u64();
+  m.payload_kind = r.u8();
+  m.payload_aux = r.u8();
+  r.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const WelcomeMsg& m) {
+  wire::Writer w;
+  w.u64(m.session_token);
+  w.u64(m.version);
+  w.u8(m.resumed);
+  return std::move(w).take();
+}
+
+WelcomeMsg decode_welcome(std::span<const std::uint8_t> body) {
+  wire::Reader r(body);
+  WelcomeMsg m;
+  m.session_token = r.u64();
+  m.version = r.u64();
+  m.resumed = r.u8();
+  r.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const DispatchMsg& m) {
+  wire::Writer w;
+  w.u64(m.dispatch_index);
+  w.u64(m.round);
+  w.u64(m.slot);
+  w.u64(m.model_version);
+  w.u64(m.rng_stream);
+  put_bytes(w, m.broadcast);
+  return std::move(w).take();
+}
+
+DispatchMsg decode_dispatch(std::span<const std::uint8_t> body) {
+  wire::Reader r(body);
+  DispatchMsg m;
+  m.dispatch_index = r.u64();
+  m.round = r.u64();
+  m.slot = r.u64();
+  m.model_version = r.u64();
+  m.rng_stream = r.u64();
+  m.broadcast = get_bytes(r);
+  r.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const UploadMsg& m) {
+  wire::Writer w;
+  w.u64(m.dispatch_index);
+  w.u64(m.samples);
+  w.u8(m.is_update);
+  w.f64(m.train_seconds);
+  w.f64(m.mean_loss);
+  w.f64(m.last_loss);
+  put_bytes(w, m.payload);
+  return std::move(w).take();
+}
+
+UploadMsg decode_upload(std::span<const std::uint8_t> body) {
+  wire::Reader r(body);
+  UploadMsg m;
+  m.dispatch_index = r.u64();
+  m.samples = r.u64();
+  m.is_update = r.u8();
+  m.train_seconds = r.f64();
+  m.mean_loss = r.f64();
+  m.last_loss = r.f64();
+  m.payload = get_bytes(r);
+  r.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const UploadAckMsg& m) {
+  wire::Writer w;
+  w.u64(m.dispatch_index);
+  return std::move(w).take();
+}
+
+UploadAckMsg decode_upload_ack(std::span<const std::uint8_t> body) {
+  wire::Reader r(body);
+  UploadAckMsg m;
+  m.dispatch_index = r.u64();
+  r.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const RejectMsg& m) {
+  wire::Writer w;
+  w.u64(m.dispatch_index);
+  w.u8(m.retry);
+  put_string(w, m.reason);
+  return std::move(w).take();
+}
+
+RejectMsg decode_reject(std::span<const std::uint8_t> body) {
+  wire::Reader r(body);
+  RejectMsg m;
+  m.dispatch_index = r.u64();
+  m.retry = r.u8();
+  m.reason = get_string(r);
+  r.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const FinMsg& m) {
+  wire::Writer w;
+  w.u64(m.rounds);
+  return std::move(w).take();
+}
+
+FinMsg decode_fin(std::span<const std::uint8_t> body) {
+  wire::Reader r(body);
+  FinMsg m;
+  m.rounds = r.u64();
+  r.expect_done();
+  return m;
+}
+
+}  // namespace fedbiad::transport

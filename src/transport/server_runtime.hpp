@@ -1,0 +1,219 @@
+// Federated server running behind a ServerTransport.
+//
+// This is the engine's server half lifted onto real (or loopback)
+// connections: the same selection rng discipline, the same commit
+// arithmetic (fused slot-ordered aggregation under barrier,
+// fl::staleness_merge under the async modes), the same RoundRecord and
+// conservation ledgers, and the same commit-boundary checkpoints — so a
+// round driven over TCP produces a trajectory bit-identical to
+// fl::AsyncSimulation, and Strategy / AsyncAggregator code runs unchanged.
+//
+// What replaces the virtual timeline is the session state machine:
+//
+//   Hello → Welcome        bind a connection to a client id; a token from
+//                          a previous Welcome resumes the session, and a
+//                          reconnect supersedes (closes) the old one.
+//   Dispatch → Upload      one in-flight record per selected client, keyed
+//                          by the engine-global dispatch index. Stale or
+//                          duplicate indices (a client re-sending after
+//                          reconnect) are charged to the delivery ledger
+//                          and Ack'd, never aggregated — at-most-once
+//                          commit by construction.
+//   Upload → Ack/Reject    payloads arrive CRC-sealed; try_decode rejects
+//                          corrupt ones with connection context, retryable
+//                          until max_upload_attempts, then the dispatch is
+//                          terminally rejected (conservation: rejected).
+//   deadline → abandon     a dispatch with no accepted upload within
+//                          dispatch_deadline_seconds is abandoned
+//                          (conservation: abandoned) — the churn path for
+//                          clients that died and never came back.
+//   backpressure           a refused transport send parks the message (the
+//                          dispatch stays unsent, control frames queue) and
+//                          retries on on_drain; a session whose control
+//                          queue overflows is closed — load is shed before
+//                          memory grows.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "checkpoint/checkpoint.hpp"
+#include "data/partition.hpp"
+#include "fl/async_simulation.hpp"
+#include "fl/fused_aggregate.hpp"
+#include "fl/metrics.hpp"
+#include "fl/strategy.hpp"
+#include "nn/model.hpp"
+#include "tensor/rng.hpp"
+#include "transport/clock.hpp"
+#include "transport/protocol.hpp"
+#include "transport/transport.hpp"
+
+namespace fedbiad::transport {
+
+struct TransportServerConfig {
+  fl::SimulationConfig base;
+  fl::AggregationMode mode = fl::AggregationMode::kBarrier;
+  fl::StalenessConfig staleness;
+  std::size_t buffer_size = 4;  ///< K for kBufferedK
+  /// Commit-boundary checkpoints (barrier mode only: its commit boundary
+  /// has no in-flight work, so a snapshot needs no job/event state and
+  /// resume replays the wave from the restored rng).
+  checkpoint::CheckpointConfig checkpoint;
+  /// Abandon a dispatch with no accepted upload after this long (0 = wait
+  /// forever — only safe when every client is expected to survive).
+  double dispatch_deadline_seconds = 0.0;
+  /// Delivery attempts per dispatch before terminal rejection.
+  std::size_t max_upload_attempts = 3;
+  /// Parked control frames per session before the session is shed.
+  std::size_t max_parked_control = 64;
+  std::string scenario_name = "transport";
+};
+
+struct TransportServerResult {
+  fl::SimulationResult sim;
+  std::size_t backpressure_deferrals = 0;  ///< refused sends, later retried
+  std::size_t sessions_opened = 0;   ///< successful handshakes
+  std::size_t sessions_resumed = 0;  ///< handshakes with a matching token
+  std::size_t connections_evicted = 0;  ///< read/write deadline closures
+
+  /// The conservation law the whole ledger hangs on.
+  [[nodiscard]] bool conserved() const {
+    return sim.total_dispatched == sim.total_committed + sim.total_abandoned +
+                                       sim.total_rejected + sim.final_buffered +
+                                       sim.final_in_flight;
+  }
+};
+
+class ServerRuntime final : public ServerTransport::Handler {
+ public:
+  ServerRuntime(TransportServerConfig cfg, ServerTransport& transport,
+                nn::ModelFactory factory, data::DatasetPtr test_data,
+                data::Partition partition, fl::StrategyPtr strategy);
+
+  /// Initializes (or resumes) the model and dispatches the first wave.
+  void start();
+
+  /// True once every configured round has committed.
+  [[nodiscard]] bool done() const noexcept {
+    return version_ >= cfg_.base.rounds;
+  }
+
+  /// Runs one transport slice (deliver frames, fire deadlines).
+  void pump(double max_wait_seconds) { transport_.step(max_wait_seconds); }
+
+  /// Drains farewell traffic and returns the final result. Call after
+  /// done(); further pumps are harmless.
+  TransportServerResult finish();
+
+  /// start() + pump until done() + finish().
+  TransportServerResult run();
+
+  [[nodiscard]] std::size_t rounds_completed() const noexcept {
+    return version_;
+  }
+
+  // ServerTransport::Handler
+  void on_open(SessionId session) override;
+  void on_frame(SessionId session, Frame&& frame) override;
+  void on_close(SessionId session, const std::string& reason) override;
+  void on_drain(SessionId session) override;
+
+ private:
+  struct InFlight {
+    std::size_t client = 0;
+    std::size_t slot = 0;
+    std::size_t version = 0;  ///< model version of the dispatch snapshot
+    std::size_t dispatch_index = 0;
+    std::uint64_t rng_stream = 0;
+    std::size_t attempts = 1;  ///< delivery attempts consumed (1-based)
+    bool sent = false;         ///< Dispatch actually handed to the transport
+    std::unique_ptr<DeadlineTimer> deadline;
+  };
+
+  struct Session {
+    static constexpr std::size_t kUnbound = static_cast<std::size_t>(-1);
+    std::size_t client = kUnbound;
+  };
+
+  struct ParkedFrame {
+    FrameType type;
+    std::vector<std::uint8_t> body;
+  };
+
+  void handle_hello(SessionId session, const Frame& frame);
+  void handle_upload(SessionId session, const Frame& frame);
+  void dispatch(std::size_t client, std::size_t slot, std::uint64_t rng_stream);
+  void dispatch_wave();
+  void top_up();
+  void try_send_dispatch(std::size_t client);
+  void resolve_slot_released();  ///< wave/top-up bookkeeping after a resolve
+  void commit(std::vector<fl::PendingUpdate> batch);
+  void finish_wave();
+  void evaluate_into(fl::RoundRecord& rec);
+  void ensure_broadcast();
+  void write_checkpoint();
+  bool try_resume();
+  void broadcast_fin();
+  /// send() with parking: a refused frame queues per session and is
+  /// retried on on_drain; an overflowing queue sheds the session.
+  void send_control(SessionId session, FrameType type,
+                    std::vector<std::uint8_t> body);
+  [[nodiscard]] std::string engine_name() const;
+
+  TransportServerConfig cfg_;
+  ServerTransport& transport_;
+  nn::ModelFactory factory_;
+  data::DatasetPtr test_data_;
+  fl::StrategyPtr strategy_;
+
+  std::size_t population_ = 0;
+  std::vector<std::size_t> populated_;  ///< ascending populated client ids
+  std::size_t select_ = 0;
+
+  tensor::Rng rng_;
+  tensor::Rng client_rng_base_;  ///< kept for symmetry with the engine
+  std::unique_ptr<nn::Model> model_;
+  std::vector<float> global_;
+  std::unique_ptr<fl::AsyncAggregator> aggregator_;
+  fl::ShardedAccumulator sharded_;
+
+  std::size_t version_ = 0;
+  std::size_t dispatched_ = 0;
+  std::size_t wave_outstanding_ = 0;
+  std::map<std::size_t, InFlight> inflight_;  ///< keyed by client id
+
+  std::vector<std::uint8_t> broadcast_;  ///< encoded global, current version
+  std::uint64_t downlink_bytes_ = 0;
+  bool broadcast_valid_ = false;
+
+  std::unordered_map<SessionId, Session> sessions_;
+  std::unordered_map<std::size_t, SessionId> client_session_;
+  std::unordered_map<std::size_t, std::uint64_t> issued_token_;
+  /// Per-client payload metadata from the first Hello; later handshakes
+  /// must agree (a strategy's encoding is session-scoped, not per-message).
+  std::unordered_map<std::size_t, std::pair<std::uint8_t, std::uint8_t>> meta_;
+  std::unordered_map<SessionId, std::deque<ParkedFrame>> parked_;
+  std::uint64_t token_counter_ = 0;
+  bool fin_broadcast_ = false;
+
+  // Ledgers, mirroring the engine's conservation accounting.
+  std::size_t committed_total_ = 0;
+  std::size_t abandoned_total_ = 0;
+  std::size_t rejected_total_ = 0;
+  std::size_t rejected_deliveries_total_ = 0;
+  std::uint64_t rejected_bytes_total_ = 0;
+  std::size_t round_abandoned_ = 0;
+  std::size_t round_rejected_ = 0;
+  std::uint64_t round_rejected_bytes_ = 0;
+
+  TransportServerResult result_;
+};
+
+}  // namespace fedbiad::transport

@@ -1,28 +1,39 @@
 #!/usr/bin/env bash
-# Kill-and-resume smoke: SIGKILL the fault_recovery example mid-round, resume
-# from its checkpoints, and demand the resumed trajectory be byte-identical
-# to an uninterrupted run. CI runs this on every push (see ci.yml).
+# Kill-and-resume smoke, two layers:
 #
-#   usage: tools/kill_resume_smoke.sh [path/to/fault_recovery]
+#   [1-3] virtual-clock engine: SIGKILL the fault_recovery example
+#         mid-round, resume from its checkpoints, demand the resumed
+#         trajectory byte-identical to an uninterrupted run.
+#   [4-6] real TCP transport: the same contract with a live epoll server
+#         and 8 client processes over localhost — SIGKILL the server after
+#         round 2's commit-boundary checkpoint, restart it with --resume on
+#         the same port (clients survive via reconnect + session resume),
+#         and diff the trajectory fingerprints.
+#
+# CI runs this on every push (see ci.yml).
+#
+#   usage: tools/kill_resume_smoke.sh [fault_recovery] [transport_server] [transport_client]
 set -u
 
 BIN=${1:-build/examples/fault_recovery}
+SERVER=${2:-build/tools/transport_server}
+CLIENT=${3:-build/tools/transport_client}
 if [ ! -x "$BIN" ]; then
   echo "kill_resume_smoke: $BIN not found or not executable" >&2
   exit 1
 fi
 
 TMP=$(mktemp -d)
-trap 'rm -rf "$TMP"' EXIT
+trap 'rm -rf "$TMP"; kill $(jobs -p) 2>/dev/null' EXIT
 export FEDBIAD_SMOKE=1
 
-echo "[1/3] uninterrupted run"
+echo "[1/6] uninterrupted run"
 "$BIN" --ckpt-dir "$TMP/golden_ckpt" > "$TMP/golden.txt" || {
   echo "kill_resume_smoke: uninterrupted run failed" >&2
   exit 1
 }
 
-echo "[2/3] crash run (SIGKILL once snapshot 2 exists)"
+echo "[2/6] crash run (SIGKILL once snapshot 2 exists)"
 "$BIN" --ckpt-dir "$TMP/crash_ckpt" --kill-after-round 2 \
   > "$TMP/crash.txt" 2>&1
 status=$?
@@ -32,7 +43,7 @@ if [ "$status" -ne 137 ]; then
   exit 1
 fi
 
-echo "[3/3] resume and diff against the uninterrupted trajectory"
+echo "[3/6] resume and diff against the uninterrupted trajectory"
 "$BIN" --ckpt-dir "$TMP/crash_ckpt" --resume > "$TMP/resumed.txt" || {
   echo "kill_resume_smoke: resume run failed" >&2
   exit 1
@@ -41,5 +52,74 @@ if ! diff -u "$TMP/golden.txt" "$TMP/resumed.txt"; then
   echo "kill_resume_smoke: resumed trajectory diverged from uninterrupted run" >&2
   exit 1
 fi
+echo "engine kill-and-resume passed"
 
-echo "kill-and-resume smoke passed: resumed output is byte-identical"
+if [ ! -x "$SERVER" ] || [ ! -x "$CLIENT" ]; then
+  echo "kill_resume_smoke: transport drivers not built ($SERVER); skipping TCP phase" >&2
+  exit 0
+fi
+
+PORT=$(( (RANDOM % 2000) + 7700 ))
+METHOD=fedbiad
+
+echo "[4/6] TCP uninterrupted run (port $PORT)"
+"$SERVER" --port "$PORT" --method "$METHOD" --ckpt-dir "$TMP/tcp_golden_ckpt" \
+  > "$TMP/tcp_golden.txt" 2> "$TMP/tcp_golden.err" &
+SERVER_PID=$!
+sleep 0.3
+CLIENT_PIDS=()
+for c in 0 1 2 3 4 5 6 7; do
+  "$CLIENT" --port "$PORT" --client "$c" --method "$METHOD" \
+    --reconnect-timeout 60 2>> "$TMP/tcp_clients.err" &
+  CLIENT_PIDS+=($!)
+done
+wait "$SERVER_PID" || {
+  echo "kill_resume_smoke: TCP uninterrupted server failed" >&2
+  cat "$TMP/tcp_golden.err" >&2
+  exit 1
+}
+for pid in "${CLIENT_PIDS[@]}"; do wait "$pid" || true; done
+
+echo "[5/6] TCP crash run (SIGKILL the server after round 2)"
+"$SERVER" --port "$PORT" --method "$METHOD" --ckpt-dir "$TMP/tcp_crash_ckpt" \
+  --kill-after-round 2 > "$TMP/tcp_crash.txt" 2>&1 &
+SERVER_PID=$!
+# Clients outlive the crash: a long reconnect window carries them across
+# the restart, exercising reconnect + session resume + upload dedup.
+CLIENT_PIDS=()
+sleep 0.3
+for c in 0 1 2 3 4 5 6 7; do
+  "$CLIENT" --port "$PORT" --client "$c" --method "$METHOD" \
+    --reconnect-timeout 120 2>> "$TMP/tcp_clients.err" &
+  CLIENT_PIDS+=($!)
+done
+wait "$SERVER_PID"
+status=$?
+if [ "$status" -ne 137 ]; then
+  echo "kill_resume_smoke: expected TCP server exit 137 (SIGKILL), got $status" >&2
+  cat "$TMP/tcp_crash.txt" >&2
+  exit 1
+fi
+
+echo "[6/6] TCP resume on the same port and diff"
+"$SERVER" --port "$PORT" --method "$METHOD" --ckpt-dir "$TMP/tcp_crash_ckpt" \
+  --resume > "$TMP/tcp_resumed.txt" 2> "$TMP/tcp_resumed.err" || {
+  echo "kill_resume_smoke: TCP resume run failed" >&2
+  cat "$TMP/tcp_resumed.err" >&2
+  exit 1
+}
+client_failures=0
+for pid in "${CLIENT_PIDS[@]}"; do
+  wait "$pid" || client_failures=$((client_failures + 1))
+done
+if [ "$client_failures" -ne 0 ]; then
+  echo "kill_resume_smoke: $client_failures TCP clients failed to finish" >&2
+  cat "$TMP/tcp_clients.err" >&2
+  exit 1
+fi
+if ! diff -u "$TMP/tcp_golden.txt" "$TMP/tcp_resumed.txt"; then
+  echo "kill_resume_smoke: resumed TCP trajectory diverged" >&2
+  exit 1
+fi
+
+echo "kill-and-resume smoke passed: engine and TCP trajectories byte-identical"

@@ -1,0 +1,95 @@
+// Standalone FedBIAD client over real TCP: dials 127.0.0.1:<port> as one
+// of the shared demo workload's clients and trains until the server's
+// Fin. Survives server restarts via the reconnect + session-resume loop;
+// exits 0 only on a clean Fin.
+//
+//   transport_client --port 7701 --client 3 --method fedbiad
+//
+// Chaos flags for the smokes: --corrupt P flips one payload bit per
+// upload attempt with probability P (deterministically keyed), and
+// --drop-after-uploads N kills the connection right after the Nth upload.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "tools/transport_demo.hpp"
+#include "transport/client_runtime.hpp"
+#include "transport/epoll.hpp"
+
+namespace {
+
+bool smoke() {
+  const char* v = std::getenv("FEDBIAD_SMOKE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port P --client N [--method fedavg|fedbiad] "
+               "[--corrupt P] [--reconnect-timeout S] "
+               "[--drop-after-uploads N]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fedbiad;
+
+  std::uint16_t port = 0;
+  std::size_t client = static_cast<std::size_t>(-1);
+  std::string method = "fedbiad";
+  double corrupt = 0.0;
+  double reconnect_timeout = 10.0;
+  std::size_t drop_after = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      port = static_cast<std::uint16_t>(std::atoi(value()));
+    } else if (arg == "--client") {
+      client = static_cast<std::size_t>(std::atoll(value()));
+    } else if (arg == "--method") {
+      method = value();
+    } else if (arg == "--corrupt") {
+      corrupt = std::atof(value());
+    } else if (arg == "--reconnect-timeout") {
+      reconnect_timeout = std::atof(value());
+    } else if (arg == "--drop-after-uploads") {
+      drop_after = static_cast<std::size_t>(std::atoll(value()));
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (port == 0 || client == static_cast<std::size_t>(-1)) usage(argv[0]);
+
+  const tools::DemoWorkload w = tools::make_demo_workload(method, smoke());
+  if (client >= w.partition.size() || w.partition[client].empty()) {
+    std::fprintf(stderr, "transport_client: client %zu has no data\n", client);
+    return 2;
+  }
+
+  transport::TransportClientConfig cfg;
+  cfg.client_id = client;
+  cfg.base = w.sim;
+  cfg.payload_kind = w.payload_kind;
+  cfg.reconnect_timeout_seconds = reconnect_timeout;
+  cfg.corrupt_probability = corrupt;
+  cfg.drop_connection_after_uploads = drop_after;
+
+  transport::TcpClientTransport transport("127.0.0.1", port);
+  transport::ClientRuntime runtime(cfg, transport, w.factory, w.train,
+                                   w.partition[client],
+                                   tools::make_demo_strategy(method));
+  const bool ok = runtime.run();
+  std::fprintf(stderr,
+               "transport_client %zu: %s (uploads=%zu trainings=%zu "
+               "reconnects=%zu)\n",
+               client, ok ? "finished" : "FAILED", runtime.uploads_sent(),
+               runtime.trainings_run(), runtime.reconnects());
+  return ok ? 0 : 1;
+}

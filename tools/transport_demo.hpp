@@ -1,0 +1,166 @@
+// Shared workload + trajectory fingerprint for the transport drivers.
+//
+// The TCP server (tools/transport_server.cpp), the client
+// (tools/transport_client.cpp), the localhost example
+// (examples/tcp_round.cpp), the transport test suite, and
+// bench/bench_transport.cpp all build the exact same federated job from
+// this header — same synthetic MNIST-like data, same shard partition,
+// same MLP, same seeds — so a trajectory printed by any of them is
+// directly diff-able against the in-process reference run.
+//
+// trajectory_text() prints only the deterministic per-round fields (no
+// wall-clock timings) plus a CRC32C of the final parameters, which is the
+// byte-identity contract the TCP smoke and the kill-and-resume smoke pin.
+#pragma once
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "baselines/fedavg.hpp"
+#include "common/check.hpp"
+#include "core/fedbiad_strategy.hpp"
+#include "data/image_synth.hpp"
+#include "data/partition.hpp"
+#include "fl/async_simulation.hpp"
+#include "fl/metrics.hpp"
+#include "fl/strategy.hpp"
+#include "nn/mlp_model.hpp"
+#include "scenario/config.hpp"
+#include "scenario/model.hpp"
+#include "tensor/rng.hpp"
+#include "wire/crc32c.hpp"
+#include "wire/update_codec.hpp"
+
+namespace fedbiad::tools {
+
+inline constexpr std::size_t kDemoClients = 8;
+
+struct DemoWorkload {
+  fl::SimulationConfig sim;
+  data::DatasetPtr train;
+  data::DatasetPtr test;
+  data::Partition partition;
+  nn::ModelFactory factory;
+  wire::PayloadKind payload_kind = wire::PayloadKind::kDenseF32;
+};
+
+/// Each caller gets its own strategy instance: strategies are stateful
+/// (FedBIAD keeps per-client score vectors), so the server and every
+/// client process construct one from the same method name instead of
+/// sharing a pointer.
+inline fl::StrategyPtr make_demo_strategy(const std::string& method) {
+  if (method == "fedavg") {
+    return std::make_shared<baselines::FedAvgStrategy>();
+  }
+  if (method == "fedbiad") {
+    return std::make_shared<core::FedBiadStrategy>(core::FedBiadConfig{
+        .dropout_rate = 0.5, .tau = 2, .stage_boundary = 3});
+  }
+  FEDBIAD_CHECK(false, "unknown method (want fedavg|fedbiad): " + method);
+  return nullptr;
+}
+
+inline wire::PayloadKind demo_payload_kind(const std::string& method) {
+  return method == "fedbiad" ? wire::PayloadKind::kRowMasked
+                             : wire::PayloadKind::kDenseF32;
+}
+
+/// The fixed demo job: 8 clients over a label-sharded MNIST-like synth set
+/// (2 shards each — the paper's non-IID split), a small MLP, half the
+/// fleet selected per round. `smoke` shrinks images and sample counts so a
+/// full multi-process round finishes in seconds under ctest.
+inline DemoWorkload make_demo_workload(const std::string& method, bool smoke) {
+  DemoWorkload w;
+  w.sim.rounds = smoke ? 3 : 5;
+  w.sim.selection_fraction = 0.5;
+  w.sim.seed = 42;
+  w.sim.eval_batch_size = 32;
+  w.sim.train.local_iterations = smoke ? 2 : 6;
+  w.sim.train.batch_size = 16;
+  w.sim.train.sgd = {.lr = 0.1F, .weight_decay = 0.0F, .clip_norm = 0.0F};
+  w.sim.threads = 1;
+
+  auto img = data::ImageSynthConfig::mnist_like(11);
+  img.train_samples = smoke ? 128 : 512;
+  img.test_samples = smoke ? 40 : 128;
+  if (smoke) {
+    img.height = 10;
+    img.width = 10;
+  }
+  const auto datasets = data::make_image_datasets(img);
+  w.train = datasets.train;
+  w.test = datasets.test;
+  tensor::Rng part_rng(12);
+  w.partition =
+      data::partition_shards(*datasets.train, kDemoClients, 2, part_rng);
+  const std::size_t input = img.height * img.width;
+  const std::size_t hidden = smoke ? 16 : 32;
+  w.factory = [input, hidden] {
+    return std::make_unique<nn::MlpModel>(nn::MlpConfig{
+        .input = input, .hidden = hidden, .classes = 10});
+  };
+  w.payload_kind = demo_payload_kind(method);
+  return w;
+}
+
+/// The parity reference: the in-process event-driven engine running the
+/// same job under a fault-enabled (but fault-free) scenario, so its
+/// uploads are CRC-sealed and its uplink accounting is framed — exactly
+/// what the transport's sessions produce. Default availability and
+/// over_selection keep the selection draws identical to a plain run.
+inline fl::SimulationResult reference_run(const DemoWorkload& w,
+                                          const std::string& method) {
+  scenario::Config sc;
+  sc.name = "wire_parity";
+  sc.seed = 7;
+  sc.faults = scenario::FaultsConfig{};
+  fl::AsyncSimulationConfig cfg;
+  cfg.base = w.sim;
+  cfg.mode = fl::AggregationMode::kBarrier;
+  cfg.hooks = scenario::make_engine_hooks(sc, w.partition.size());
+  cfg.scenario_name = sc.name;
+  fl::AsyncSimulation sim(cfg, w.factory, w.train, w.test, w.partition,
+                          make_demo_strategy(method));
+  return sim.run();
+}
+
+/// Deterministic trajectory fingerprint: every per-round field that the
+/// bit-identity contract covers (wall-clock timings excluded — they differ
+/// between virtual and real time by construction), the conservation
+/// ledger, and a CRC32C over the final parameter bytes.
+inline std::string trajectory_text(const fl::SimulationResult& r) {
+  std::string out;
+  char buf[512];
+  std::snprintf(buf, sizeof buf, "strategy=%s rounds=%zu\n",
+                r.strategy.c_str(), r.rounds.size());
+  out += buf;
+  for (const fl::RoundRecord& rec : r.rounds) {
+    std::snprintf(
+        buf, sizeof buf,
+        "round=%zu train_loss=%.17g test_loss=%.17g top1=%.17g topk=%.17g "
+        "participants=%zu uplink_total=%" PRIu64 " uplink_max=%" PRIu64
+        " downlink=%" PRIu64 " staleness=%.17g abandoned=%zu wasted=%" PRIu64
+        " rejected=%zu rejected_bytes=%" PRIu64 "\n",
+        rec.round, rec.train_loss, rec.test_loss, rec.top1, rec.topk,
+        rec.participants, rec.uplink_bytes_total, rec.uplink_bytes_max,
+        rec.downlink_bytes, rec.mean_staleness, rec.abandoned,
+        rec.wasted_uplink_bytes, rec.rejected, rec.rejected_bytes);
+    out += buf;
+  }
+  const std::uint32_t crc = wire::crc32c(
+      {reinterpret_cast<const std::uint8_t*>(r.final_params.data()),
+       r.final_params.size() * sizeof(float)});
+  std::snprintf(buf, sizeof buf,
+                "params_crc32c=%08" PRIx32 " dispatched=%zu committed=%zu "
+                "abandoned=%zu rejected=%zu buffered=%zu in_flight=%zu "
+                "rejected_deliveries=%zu rejected_bytes=%" PRIu64 "\n",
+                crc, r.total_dispatched, r.total_committed, r.total_abandoned,
+                r.total_rejected, r.final_buffered, r.final_in_flight,
+                r.total_rejected_deliveries, r.total_rejected_bytes);
+  out += buf;
+  return out;
+}
+
+}  // namespace fedbiad::tools

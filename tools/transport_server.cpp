@@ -1,0 +1,107 @@
+// Standalone FedBIAD server over real TCP: binds 127.0.0.1:<port>, runs
+// the shared demo workload behind an EpollServerTransport, and prints the
+// deterministic trajectory fingerprint to stdout — diff it against the
+// in-process reference (or a resumed run) to check bit-identity.
+//
+//   transport_server --port 7701 --method fedbiad --ckpt-dir /tmp/ck
+//   transport_server --port 7701 --method fedbiad --ckpt-dir /tmp/ck --resume
+//
+// --kill-after-round N raises SIGKILL right after round N commits (the
+// crash half of tools/kill_resume_smoke.sh). FEDBIAD_SMOKE=1 shrinks the
+// workload like the examples.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "tools/transport_demo.hpp"
+#include "transport/epoll.hpp"
+#include "transport/server_runtime.hpp"
+
+namespace {
+
+bool smoke() {
+  const char* v = std::getenv("FEDBIAD_SMOKE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port P] [--method fedavg|fedbiad] "
+               "[--ckpt-dir DIR] [--resume] [--kill-after-round N] "
+               "[--deadline SECONDS]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fedbiad;
+
+  std::uint16_t port = 0;
+  std::string method = "fedbiad";
+  std::string ckpt_dir;
+  bool resume = false;
+  std::size_t kill_after_round = 0;
+  double deadline = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      port = static_cast<std::uint16_t>(std::atoi(value()));
+    } else if (arg == "--method") {
+      method = value();
+    } else if (arg == "--ckpt-dir") {
+      ckpt_dir = value();
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--kill-after-round") {
+      kill_after_round = static_cast<std::size_t>(std::atoll(value()));
+    } else if (arg == "--deadline") {
+      deadline = std::atof(value());
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  const tools::DemoWorkload w = tools::make_demo_workload(method, smoke());
+  transport::TransportServerConfig cfg;
+  cfg.base = w.sim;
+  cfg.dispatch_deadline_seconds = deadline;
+  cfg.checkpoint.directory = ckpt_dir;
+  cfg.checkpoint.resume = resume;
+  cfg.checkpoint.every_rounds = 1;
+  cfg.scenario_name = "tcp_demo";
+
+  transport::EpollServerTransport transport({}, port);
+  std::fprintf(stderr, "transport_server: listening on 127.0.0.1:%u\n",
+               static_cast<unsigned>(transport.port()));
+  transport::ServerRuntime server(cfg, transport, w.factory, w.test,
+                                  w.partition, tools::make_demo_strategy(method));
+  server.start();
+  std::size_t announced = server.rounds_completed();
+  while (!server.done()) {
+    server.pump(0.2);
+    if (server.rounds_completed() != announced) {
+      announced = server.rounds_completed();
+      std::fprintf(stderr, "transport_server: round %zu committed\n",
+                   announced);
+      if (kill_after_round != 0 && announced >= kill_after_round) {
+        std::fflush(nullptr);
+        ::raise(SIGKILL);  // simulate a hard crash mid-run
+      }
+    }
+  }
+  const transport::TransportServerResult result = server.finish();
+  std::fputs(tools::trajectory_text(result.sim).c_str(), stdout);
+  if (!result.conserved()) {
+    std::fprintf(stderr, "transport_server: conservation violated\n");
+    return 1;
+  }
+  return 0;
+}
