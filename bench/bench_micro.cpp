@@ -18,11 +18,13 @@
 #include "compress/quantize.hpp"
 #include "core/drop_pattern.hpp"
 #include "fl/aggregate.hpp"
+#include "fl/fused_aggregate.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/loss.hpp"
 #include "nn/lstm.hpp"
 #include "nn/mlp_model.hpp"
 #include "tensor/ops.hpp"
+#include "wire/crc32c.hpp"
 #include "wire/update_codec.hpp"
 
 namespace {
@@ -289,6 +291,76 @@ void BM_Aggregate(benchmark::State& state) {
                           static_cast<std::int64_t>(n * clients));
 }
 BENCHMARK(BM_Aggregate);
+
+// The server's actual ingest hot path: compact decode of a row-masked wire
+// payload straight into the shard-parallel fused committer, never
+// materializing a dense per-client vector. Items = model coordinates
+// offered per pass (clients × n), matching BM_Aggregate's accounting.
+void BM_FusedIngest(benchmark::State& state) {
+  nn::MlpModel model({.input = 784, .hidden = 256, .classes = 10});
+  tensor::Rng rng(14);
+  model.init_params(rng);
+  const auto& store = model.store();
+  const std::size_t clients = 10;
+  std::vector<wire::Payload> payloads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    const auto pattern = core::DropPattern::sample(
+        store, 0.5, core::eligible_all(), rng);
+    payloads.push_back(
+        wire::encode_row_masked(store, pattern.bits(), store.params()));
+  }
+  std::vector<float> global(store.size(), 0.0F);
+  fl::ShardedAccumulator sharded;
+  for (auto _ : state) {
+    std::vector<wire::CompactUpdate> compacts;
+    compacts.reserve(clients);
+    std::vector<fl::FusedUpdate> batch;
+    for (const auto& p : payloads) {
+      compacts.push_back(wire::decode_update_compact(store, p));
+      batch.push_back({&compacts.back(), /*weight=*/100.0,
+                       /*is_update=*/true});
+    }
+    sharded.aggregate(global, batch,
+                      fl::AggregationRule::kPerCoordinateNormalized);
+    benchmark::DoNotOptimize(global.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(store.size() * clients));
+}
+BENCHMARK(BM_FusedIngest);
+
+// CRC32C over a frame-sized buffer, both implementations: the slice-by-8
+// table walk every build carries, and the SSE4.2 dispatch the release
+// build seals/verifies every upload with. Items = bytes checksummed.
+void BM_Crc32cSw(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  tensor::Rng rng(15);
+  std::vector<std::uint8_t> data(n);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::crc32c_sw(data));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Crc32cSw)->Arg(4096)->Arg(1 << 20);
+
+void BM_Crc32cHw(benchmark::State& state) {
+  if (!wire::crc32c_hw_available()) {
+    state.SkipWithError("SSE4.2 CRC32 not compiled in (portable build)");
+    return;
+  }
+  const auto n = static_cast<std::size_t>(state.range(0));
+  tensor::Rng rng(16);
+  std::vector<std::uint8_t> data(n);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::crc32c(data));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Crc32cHw)->Arg(4096)->Arg(1 << 20);
 
 // Console output plus collection of every run for the FEDBIAD_JSON emitter.
 class MicroJsonReporter : public benchmark::ConsoleReporter {

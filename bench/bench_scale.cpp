@@ -217,7 +217,7 @@ EngineCell run_engine_cell(std::size_t registered, std::size_t in_flight,
 
 void write_json(const std::string& path, const KernelResult& kernel,
                 const std::vector<EngineCell>& cells, double scale,
-                bool smoke) {
+                std::size_t threads, bool smoke) {
   std::ofstream os(path);
   if (!os) {
     std::fprintf(stderr, "bench_scale: cannot write %s\n", path.c_str());
@@ -234,6 +234,10 @@ void write_json(const std::string& path, const KernelResult& kernel,
   os << "  \"scale\": " << num(scale) << ",\n";
   os << "  \"seed\": 42,\n";
   os << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  // Engine worker-thread count (FEDBIAD_THREADS; 0 = hardware concurrency).
+  // Block-owner partitioning keeps every number below identical across
+  // thread counts — only the wall clock moves.
+  os << "  \"threads\": " << threads << ",\n";
   os << "  \"kernel\": {\"coords\": " << kernel.coords
      << ", \"updates\": " << kernel.updates << ", \"reps\": " << kernel.reps
      << ",\n             \"contributions_per_call\": "
@@ -314,7 +318,7 @@ int main(int argc, char** argv) {
   }
 
   if (const char* path = std::getenv("FEDBIAD_JSON")) {
-    write_json(path, kernel, cells, env_scale(), smoke);
+    write_json(path, kernel, cells, env_scale(), env_threads(), smoke);
     std::printf("wrote %s (%zu cells)\n", path, cells.size());
   }
   return 0;

@@ -1,6 +1,6 @@
 // Transport bench: the cost of the wire under the FL runtimes.
 //
-// Three sections:
+// Four sections:
 //
 //   frame codec     encode + reparse throughput of the length-prefixed
 //                   CRC32C framing at body sizes {64 B, 4 KiB, 256 KiB}
@@ -9,10 +9,16 @@
 //   tcp echo        round-trip latency over real localhost sockets: an
 //                   EpollServerTransport echoing 1 KiB frames back at
 //                   {8, 64} concurrent client threads; p50/p99 RTT.
-//   corruption run  the full loopback FL job (tools/transport_demo
-//                   workload, 8 clients) with every client corrupting
-//                   each upload attempt at 5% — reports the rejection
-//                   ledgers and checks the conservation law.
+//   ingest          the full loopback FL job at decode-on-arrival worker
+//                   counts {0 (inline), 1, 4, 8}: committed uploads/s and
+//                   the park/shed telemetry of the bounded decode queue.
+//                   Every cell must land on the same trajectory — worker
+//                   count only moves the wall clock.
+//   corruption run  the same loopback job (8 clients, decode_workers=4)
+//                   with every client corrupting each upload attempt at
+//                   5% — reports the rejection ledgers and checks the
+//                   conservation law with rejects charged from the
+//                   worker path.
 //
 // With FEDBIAD_JSON=<path> set it emits the machine-readable summary
 // checked in as BENCH_transport.json (schema in bench/README.md).
@@ -199,24 +205,30 @@ EchoResult bench_tcp_echo(std::size_t clients, std::size_t pings_per_client) {
 struct CorruptionResult {
   std::string method;
   double corruption = 0.0;
+  std::size_t decode_workers = 0;     ///< 0 = inline decode
+  std::size_t decode_queue_depth = 0; ///< effective bound (2×workers default)
   std::size_t rounds = 0;
   double rounds_per_second = 0.0;
+  double committed_per_second = 0.0;
   std::size_t dispatched = 0;
   std::size_t committed = 0;
   std::size_t rejected_dispatches = 0;
   std::size_t rejected_deliveries = 0;
   std::uint64_t rejected_bytes = 0;
+  std::size_t decode_parked = 0;
+  std::size_t decode_shed = 0;
   bool conserved = false;
 };
 
 CorruptionResult bench_corruption(const std::string& method, bool smoke,
-                                  double corruption) {
+                                  double corruption, std::size_t workers) {
   using namespace fedbiad;
   const tools::DemoWorkload w = tools::make_demo_workload(method, smoke);
 
   transport::TransportServerConfig scfg;
   scfg.base = w.sim;
   scfg.scenario_name = "bench_transport";
+  scfg.decode_workers = workers;
   transport::LoopbackTransport net{transport::TransportLimits{}};
   transport::ServerRuntime server(scfg, net, w.factory, w.test, w.partition,
                                   tools::make_demo_strategy(method));
@@ -253,13 +265,19 @@ CorruptionResult bench_corruption(const std::string& method, bool smoke,
   CorruptionResult r;
   r.method = method;
   r.corruption = corruption;
+  r.decode_workers = workers;
+  r.decode_queue_depth = workers > 0 ? 2 * workers : 0;
   r.rounds = result.sim.rounds.size();
   r.rounds_per_second = static_cast<double>(r.rounds) / std::max(wall, 1e-9);
+  r.committed_per_second =
+      static_cast<double>(result.sim.total_committed) / std::max(wall, 1e-9);
   r.dispatched = result.sim.total_dispatched;
   r.committed = result.sim.total_committed;
   r.rejected_dispatches = result.sim.total_rejected;
   r.rejected_deliveries = result.sim.total_rejected_deliveries;
   r.rejected_bytes = result.sim.total_rejected_bytes;
+  r.decode_parked = result.decode_parked;
+  r.decode_shed = result.decode_shed;
   r.conserved = result.conserved();
   return r;
 }
@@ -268,6 +286,7 @@ CorruptionResult bench_corruption(const std::string& method, bool smoke,
 
 void write_json(const std::string& path, const std::vector<CodecResult>& codec,
                 const std::vector<EchoResult>& echo,
+                const std::vector<CorruptionResult>& ingest,
                 const std::vector<CorruptionResult>& corruption, bool smoke) {
   std::ofstream os(path);
   if (!os) {
@@ -305,10 +324,26 @@ void write_json(const std::string& path, const std::vector<CodecResult>& codec,
        << "     \"summary\": {\"rtt_p50_seconds\": " << num(e.rtt_p50_seconds)
        << ", \"rtt_p99_seconds\": " << num(e.rtt_p99_seconds) << "}}";
   }
+  for (const CorruptionResult& c : ingest) {
+    sep();
+    os << "    {\"section\": \"ingest\", \"method\": \"" << c.method
+       << "\", \"decode_workers\": " << c.decode_workers
+       << ", \"decode_queue_depth\": " << c.decode_queue_depth << ",\n"
+       << "     \"summary\": {\"rounds\": " << c.rounds
+       << ", \"rounds_per_second\": " << num(c.rounds_per_second)
+       << ", \"committed_per_second\": " << num(c.committed_per_second)
+       << ",\n      \"dispatched\": " << c.dispatched
+       << ", \"committed\": " << c.committed
+       << ", \"decode_parked\": " << c.decode_parked
+       << ", \"decode_shed\": " << c.decode_shed
+       << ", \"conserved\": " << (c.conserved ? "true" : "false") << "}}";
+  }
   for (const CorruptionResult& c : corruption) {
     sep();
     os << "    {\"section\": \"corruption_run\", \"method\": \"" << c.method
-       << "\", \"corruption_probability\": " << num(c.corruption) << ",\n"
+       << "\", \"corruption_probability\": " << num(c.corruption)
+       << ", \"decode_workers\": " << c.decode_workers
+       << ", \"decode_queue_depth\": " << c.decode_queue_depth << ",\n"
        << "     \"summary\": {\"rounds\": " << c.rounds
        << ", \"rounds_per_second\": " << num(c.rounds_per_second)
        << ", \"dispatched\": " << c.dispatched
@@ -316,6 +351,8 @@ void write_json(const std::string& path, const std::vector<CodecResult>& codec,
        << "      \"rejected_dispatches\": " << c.rejected_dispatches
        << ", \"rejected_deliveries\": " << c.rejected_deliveries
        << ", \"rejected_bytes\": " << c.rejected_bytes
+       << ", \"decode_parked\": " << c.decode_parked
+       << ", \"decode_shed\": " << c.decode_shed
        << ", \"conserved\": " << (c.conserved ? "true" : "false") << "}}";
   }
   os << "\n  ]\n}\n";
@@ -356,13 +393,32 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
 
-  std::printf("\n-- loopback FL run at 5%% upload corruption --\n");
+  std::printf("\n-- loopback FL ingest at decode worker counts --\n");
+  std::printf("%-9s %8s %8s %10s %12s %8s %8s\n", "method", "workers", "rounds",
+              "rounds/s", "committed/s", "parked", "shed");
+  std::vector<CorruptionResult> ingest;
+  for (const std::size_t workers :
+       {std::size_t{0}, std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    const CorruptionResult c =
+        bench_corruption("fedbiad", smoke, /*corruption=*/0.0, workers);
+    ingest.push_back(c);
+    std::printf("%-9s %8zu %8zu %10.2f %12.1f %8zu %8zu%s\n", c.method.c_str(),
+                c.decode_workers, c.rounds, c.rounds_per_second,
+                c.committed_per_second, c.decode_parked, c.decode_shed,
+                c.conserved ? "" : "  CONSERVATION VIOLATED");
+    std::fflush(stdout);
+    if (!c.conserved) return 1;
+  }
+
+  std::printf(
+      "\n-- loopback FL run at 5%% upload corruption (decode_workers=4) --\n");
   std::printf("%-9s %8s %10s %10s %9s %10s %10s %10s\n", "method", "rounds",
               "rounds/s", "dispatched", "committed", "rej_disp", "rej_deliv",
               "rej_bytes");
   std::vector<CorruptionResult> corruption;
   for (const std::string method : {"fedavg", "fedbiad"}) {
-    const CorruptionResult c = bench_corruption(method, smoke, 0.05);
+    const CorruptionResult c =
+        bench_corruption(method, smoke, 0.05, /*workers=*/4);
     corruption.push_back(c);
     std::printf("%-9s %8zu %10.2f %10zu %9zu %10zu %10zu %10llu%s\n",
                 c.method.c_str(), c.rounds, c.rounds_per_second, c.dispatched,
@@ -374,7 +430,7 @@ int main(int argc, char** argv) {
   }
 
   if (const char* path = std::getenv("FEDBIAD_JSON")) {
-    write_json(path, codec, echo, corruption, smoke);
+    write_json(path, codec, echo, ingest, corruption, smoke);
     std::printf("\nwrote %s\n", path);
   }
   return 0;

@@ -57,6 +57,11 @@ int main() {
   transport::TransportServerConfig scfg;
   scfg.base = w.sim;
   scfg.scenario_name = "tcp_round";
+  // Decode-on-arrival workers: uploads are CRC-verified and decoded off
+  // the epoll thread, yet the trajectory diff below still demands byte
+  // identity with the single-threaded in-process engine. (The pool's
+  // threads start inside server.run(), after every fork above.)
+  scfg.decode_workers = 4;
   transport::EpollServerTransport transport({}, /*port=*/0);
   const std::uint16_t port = transport.port();
 

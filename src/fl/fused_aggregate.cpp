@@ -4,6 +4,7 @@
 #include <array>
 #include <bit>
 #include <cstdint>
+#include <cstring>
 #include <utility>
 
 #include "common/check.hpp"
@@ -11,70 +12,213 @@
 
 namespace fedbiad::fl {
 
+namespace fused {
+
+namespace ref {
+
+void accumulate_run(double* acc, double* present_weight, const float* values,
+                    std::size_t len, double weight) {
+  for (std::size_t i = 0; i < len; ++i) {
+    acc[i] += weight * static_cast<double>(values[i]);
+    present_weight[i] += weight;
+  }
+}
+
+void merge_param_run(double* acc, double* weight_acc, const float* values,
+                     const float* global, std::size_t len, double weight) {
+  for (std::size_t i = 0; i < len; ++i) {
+    acc[i] += weight * (static_cast<double>(values[i]) -
+                        static_cast<double>(global[i]));
+    weight_acc[i] += weight;
+  }
+}
+
+void accumulate_sparse(double* acc, double* present_weight,
+                       const std::uint32_t* indices, const float* values,
+                       std::size_t count, std::size_t base, double weight) {
+  for (std::size_t c = 0; c < count; ++c) {
+    const std::size_t i = indices[c] - base;
+    acc[i] += weight * static_cast<double>(values[c]);
+    present_weight[i] += weight;
+  }
+}
+
+void merge_param_sparse(double* acc, double* weight_acc,
+                        const std::uint32_t* indices, const float* values,
+                        const float* global, std::size_t count,
+                        std::size_t base, double weight) {
+  for (std::size_t c = 0; c < count; ++c) {
+    const std::size_t i = indices[c] - base;
+    acc[i] += weight * (static_cast<double>(values[c]) -
+                        static_cast<double>(global[indices[c]]));
+    weight_acc[i] += weight;
+  }
+}
+
+}  // namespace ref
+
+namespace {
+
+// GNU vector extensions: width-agnostic source, codegen picks the lanes the
+// TU's -march allows (256-bit on x86-64-v3, split 128-bit pairs on the
+// portable build). This file is compiled with -ffp-contract=off, so the
+// w*v + acc below stays a distinct IEEE multiply and add per lane — never
+// an FMA — matching the scalar ref:: kernels bit for bit.
+using V4d = double __attribute__((vector_size(32)));
+
+// Widen four floats to four doubles. The element-wise initializer — not
+// __builtin_convertvector on a loaded V4f — is deliberate: GCC 12 lowers
+// the convertvector form to two half-width converts plus an insert, while
+// this form folds into the single full-width convert-from-memory
+// instruction. Conversion is exact either way, so the contract is safe.
+inline V4d widen4(const float* p) noexcept {
+  return V4d{static_cast<double>(p[0]), static_cast<double>(p[1]),
+             static_cast<double>(p[2]), static_cast<double>(p[3])};
+}
+
+inline V4d load4d(const double* p) noexcept {
+  V4d v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+inline void store4d(double* p, V4d v) noexcept { std::memcpy(p, &v, sizeof v); }
+
+}  // namespace
+
+void accumulate_run(double* acc, double* present_weight, const float* values,
+                    std::size_t len, double weight) {
+  const V4d wv = {weight, weight, weight, weight};
+  std::size_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    const V4d v = widen4(values + i);
+    store4d(acc + i, load4d(acc + i) + wv * v);
+    store4d(present_weight + i, load4d(present_weight + i) + wv);
+  }
+  if (i < len) {
+    ref::accumulate_run(acc + i, present_weight + i, values + i, len - i,
+                        weight);
+  }
+}
+
+void merge_param_run(double* acc, double* weight_acc, const float* values,
+                     const float* global, std::size_t len, double weight) {
+  const V4d wv = {weight, weight, weight, weight};
+  std::size_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    const V4d v = widen4(values + i);
+    const V4d g = widen4(global + i);
+    store4d(acc + i, load4d(acc + i) + wv * (v - g));
+    store4d(weight_acc + i, load4d(weight_acc + i) + wv);
+  }
+  if (i < len) {
+    ref::merge_param_run(acc + i, weight_acc + i, values + i, global + i,
+                         len - i, weight);
+  }
+}
+
+void accumulate_sparse(double* acc, double* present_weight,
+                       const std::uint32_t* indices, const float* values,
+                       std::size_t count, std::size_t base, double weight) {
+  const V4d wv = {weight, weight, weight, weight};
+  std::size_t c = 0;
+  // Vectorize the multiply; scatter stays scalar. Indices are strictly
+  // ascending, so the four destinations of one batch are distinct and the
+  // scalar adds land in the same per-coordinate order as ref::.
+  for (; c + 4 <= count; c += 4) {
+    const V4d prod = wv * widen4(values + c);
+    for (std::size_t t = 0; t < 4; ++t) {
+      const std::size_t i = indices[c + t] - base;
+      acc[i] += prod[t];
+      present_weight[i] += weight;
+    }
+  }
+  if (c < count) {
+    ref::accumulate_sparse(acc, present_weight, indices + c, values + c,
+                           count - c, base, weight);
+  }
+}
+
+void merge_param_sparse(double* acc, double* weight_acc,
+                        const std::uint32_t* indices, const float* values,
+                        const float* global, std::size_t count,
+                        std::size_t base, double weight) {
+  const V4d wv = {weight, weight, weight, weight};
+  std::size_t c = 0;
+  for (; c + 4 <= count; c += 4) {
+    const V4d g = {static_cast<double>(global[indices[c]]),
+                   static_cast<double>(global[indices[c + 1]]),
+                   static_cast<double>(global[indices[c + 2]]),
+                   static_cast<double>(global[indices[c + 3]])};
+    const V4d delta = widen4(values + c) - g;
+    const V4d prod = wv * delta;
+    for (std::size_t t = 0; t < 4; ++t) {
+      const std::size_t i = indices[c + t] - base;
+      acc[i] += prod[t];
+      weight_acc[i] += weight;
+    }
+  }
+  if (c < count) {
+    ref::merge_param_sparse(acc, weight_acc, indices + c, values + c, global,
+                            count - c, base, weight);
+  }
+}
+
+}  // namespace fused
+
 namespace {
 
 constexpr std::size_t kWordBits = wire::Bitset::kWordBits;
 
-/// Emits `emit(i, v)` for every transmitted coordinate i of `u` inside
-/// [begin, end), in ascending i — the same visitation order (and therefore
-/// the same double-add order downstream) as the dense kernel's presence
-/// word walk, which skips all-zero words, takes a branch-free run through
-/// all-ones words, and walks mixed words via countr_zero.
-template <typename Emit>
-void walk_bitmap(const wire::CompactUpdate& u, std::size_t begin,
-                 std::size_t end, Emit&& emit) {
+/// Walks the transmitted coordinates of bitmap update `u` inside the
+/// kBlock-aligned window [b0, b0 + len): zero words are skipped, all-ones
+/// words are handed to `run(i, vals, kWordBits)` (a contiguous slice of the
+/// value array — the vectorized fast path), and mixed words walk their set
+/// bits via countr_zero into `one(i, v)`. b0 % kWordBits == 0 is required,
+/// which the block-owner partitioning guarantees; b0 % kRankStride == 0
+/// additionally makes the rank() below a single directory probe.
+template <typename Run, typename One>
+void walk_bitmap_aligned(const wire::CompactUpdate& u, std::size_t b0,
+                         std::size_t len, Run&& run, One&& one) {
   const std::span<const std::uint64_t> words = u.present.words();
   const float* vals = u.values.data();
-  std::size_t c = u.rank(begin);
-  std::size_t i = begin;
-  for (; i < end && i % kWordBits != 0; ++i) {
-    if (u.present.test(i)) emit(i, vals[c++]);
-  }
+  std::size_t c = u.rank(b0);
+  const std::size_t end = b0 + len;
+  std::size_t i = b0;
   for (; i + kWordBits <= end; i += kWordBits) {
     std::uint64_t bits = words[i / kWordBits];
     if (bits == 0) continue;
     if (bits == ~std::uint64_t{0}) {
-      for (std::size_t t = 0; t < kWordBits; ++t) emit(i + t, vals[c++]);
+      run(i, vals + c, kWordBits);
+      c += kWordBits;
       continue;
     }
     while (bits != 0) {
       const auto t = static_cast<std::size_t>(std::countr_zero(bits));
       bits &= bits - 1;
-      emit(i + t, vals[c++]);
+      one(i + t, vals[c++]);
     }
   }
   for (; i < end; ++i) {
-    if (u.present.test(i)) emit(i, vals[c++]);
+    if (u.present.test(i)) one(i, vals[c++]);
   }
 }
 
-template <typename Emit>
-void walk_block(const wire::CompactUpdate& u, std::size_t begin,
-                std::size_t end, Emit&& emit) {
-  using Form = wire::CompactUpdate::Form;
-  switch (u.form) {
-    case Form::kEmpty:
-      return;
-    case Form::kDense: {
-      const float* vals = u.values.data();
-      for (std::size_t i = begin; i < end; ++i) emit(i, vals[i]);
-      return;
-    }
-    case Form::kBitmap:
-      walk_bitmap(u, begin, end, emit);
-      return;
-    case Form::kSparse: {
-      const auto first =
-          std::lower_bound(u.indices.begin(), u.indices.end(),
-                           static_cast<std::uint32_t>(begin));
-      const float* vals = u.values.data();
-      for (std::size_t c = static_cast<std::size_t>(first - u.indices.begin());
-           c < u.indices.size() && u.indices[c] < end; ++c) {
-        emit(u.indices[c], vals[c]);
-      }
-      return;
-    }
-  }
+/// In-window slice of a sparse update: index range [c0, c0 + count) covers
+/// exactly the coordinates of `u` falling in [b0, b0 + len).
+struct SparseSlice {
+  std::size_t c0 = 0;
+  std::size_t count = 0;
+};
+
+SparseSlice sparse_slice(const wire::CompactUpdate& u, std::size_t b0,
+                         std::size_t len) {
+  const auto first = std::lower_bound(u.indices.begin(), u.indices.end(),
+                                      static_cast<std::uint32_t>(b0));
+  const auto last = std::lower_bound(first, u.indices.end(),
+                                     static_cast<std::uint32_t>(b0 + len));
+  return {static_cast<std::size_t>(first - u.indices.begin()),
+          static_cast<std::size_t>(last - first)};
 }
 
 }  // namespace
@@ -138,22 +282,54 @@ void ShardedAccumulator::aggregate(std::span<float> global_params,
     total_weight += u.weight;
   }
 
+  // Block-owner partition: the loop space is whole kBlock panels, so every
+  // block is aligned and owned by exactly one chunk. The grain scales the
+  // old per-coordinate estimate by kBlock, keeping the serial threshold for
+  // small models unchanged.
+  const std::size_t nblocks = (n + kBlock - 1) / kBlock;
   parallel::parallel_for(
-      n,
-      [&](std::size_t begin, std::size_t end) {
+      nblocks,
+      [&](std::size_t bbegin, std::size_t bend) {
         PanelLease lease(*this);
         double* acc = lease.get().acc.data();
         double* present_weight = lease.get().present_weight.data();
-        for (std::size_t b0 = begin; b0 < end; b0 += kBlock) {
-          const std::size_t len = std::min(kBlock, end - b0);
+        for (std::size_t b = bbegin; b < bend; ++b) {
+          const std::size_t b0 = b * kBlock;
+          const std::size_t len = std::min(kBlock, n - b0);
           std::fill_n(acc, len, 0.0);
           std::fill_n(present_weight, len, 0.0);
           for (const FusedUpdate& u : updates) {
             const double w = u.weight;
-            walk_block(*u.update, b0, b0 + len, [&](std::size_t i, float v) {
-              acc[i - b0] += w * static_cast<double>(v);
-              present_weight[i - b0] += w;
-            });
+            using Form = wire::CompactUpdate::Form;
+            switch (u.update->form) {
+              case Form::kEmpty:
+                break;
+              case Form::kDense:
+                fused::accumulate_run(acc, present_weight,
+                                      u.update->values.data() + b0, len, w);
+                break;
+              case Form::kBitmap:
+                walk_bitmap_aligned(
+                    *u.update, b0, len,
+                    [&](std::size_t i, const float* v, std::size_t run_len) {
+                      fused::accumulate_run(acc + (i - b0),
+                                            present_weight + (i - b0), v,
+                                            run_len, w);
+                    },
+                    [&](std::size_t i, float v) {
+                      acc[i - b0] += w * static_cast<double>(v);
+                      present_weight[i - b0] += w;
+                    });
+                break;
+              case Form::kSparse: {
+                const SparseSlice s = sparse_slice(*u.update, b0, len);
+                fused::accumulate_sparse(acc, present_weight,
+                                         u.update->indices.data() + s.c0,
+                                         u.update->values.data() + s.c0,
+                                         s.count, b0, w);
+                break;
+              }
+            }
           }
           float* g = global_params.data() + b0;
           if (is_update) {
@@ -176,7 +352,7 @@ void ShardedAccumulator::aggregate(std::span<float> global_params,
           }
         }
       },
-      updates.size() * 2);
+      kBlock * updates.size() * 2);
 }
 
 void ShardedAccumulator::merge(std::span<float> global_params,
@@ -190,30 +366,79 @@ void ShardedAccumulator::merge(std::span<float> global_params,
     FEDBIAD_CHECK(u.weight > 0.0, "client outcome without samples");
   }
 
+  const std::size_t nblocks = (n + kBlock - 1) / kBlock;
   parallel::parallel_for(
-      n,
-      [&](std::size_t begin, std::size_t end) {
+      nblocks,
+      [&](std::size_t bbegin, std::size_t bend) {
         PanelLease lease(*this);
         double* acc = lease.get().acc.data();
         double* weight = lease.get().present_weight.data();
-        for (std::size_t b0 = begin; b0 < end; b0 += kBlock) {
-          const std::size_t len = std::min(kBlock, end - b0);
+        for (std::size_t b = bbegin; b < bend; ++b) {
+          const std::size_t b0 = b * kBlock;
+          const std::size_t len = std::min(kBlock, n - b0);
           std::fill_n(acc, len, 0.0);
           std::fill_n(weight, len, 0.0);
+          const float* gin = global_params.data();
           for (const FusedUpdate& u : updates) {
             const double w = u.weight;
-            const bool upd = u.is_update;
             // The global is read here and stepped only in the write-back
             // below, so every update's delta sees the pre-merge value —
             // the same read/write schedule as the coordinate-outer
-            // reference merge.
-            walk_block(*u.update, b0, b0 + len, [&](std::size_t i, float vf) {
-              const double v = static_cast<double>(vf);
-              const double delta =
-                  upd ? v : v - static_cast<double>(global_params[i]);
-              acc[i - b0] += w * delta;
-              weight[i - b0] += w;
-            });
+            // reference merge. Update payloads are already deltas, so they
+            // take the plain accumulate kernels.
+            using Form = wire::CompactUpdate::Form;
+            switch (u.update->form) {
+              case Form::kEmpty:
+                break;
+              case Form::kDense:
+                if (u.is_update) {
+                  fused::accumulate_run(acc, weight,
+                                        u.update->values.data() + b0, len, w);
+                } else {
+                  fused::merge_param_run(acc, weight,
+                                         u.update->values.data() + b0,
+                                         gin + b0, len, w);
+                }
+                break;
+              case Form::kBitmap:
+                walk_bitmap_aligned(
+                    *u.update, b0, len,
+                    [&](std::size_t i, const float* v, std::size_t run_len) {
+                      if (u.is_update) {
+                        fused::accumulate_run(acc + (i - b0),
+                                              weight + (i - b0), v, run_len,
+                                              w);
+                      } else {
+                        fused::merge_param_run(acc + (i - b0),
+                                               weight + (i - b0), v, gin + i,
+                                               run_len, w);
+                      }
+                    },
+                    [&](std::size_t i, float vf) {
+                      const double v = static_cast<double>(vf);
+                      const double delta =
+                          u.is_update ? v
+                                      : v - static_cast<double>(gin[i]);
+                      acc[i - b0] += w * delta;
+                      weight[i - b0] += w;
+                    });
+                break;
+              case Form::kSparse: {
+                const SparseSlice s = sparse_slice(*u.update, b0, len);
+                if (u.is_update) {
+                  fused::accumulate_sparse(acc, weight,
+                                           u.update->indices.data() + s.c0,
+                                           u.update->values.data() + s.c0,
+                                           s.count, b0, w);
+                } else {
+                  fused::merge_param_sparse(acc, weight,
+                                            u.update->indices.data() + s.c0,
+                                            u.update->values.data() + s.c0,
+                                            gin, s.count, b0, w);
+                }
+                break;
+              }
+            }
           }
           float* g = global_params.data() + b0;
           for (std::size_t i = 0; i < len; ++i) {
@@ -223,7 +448,7 @@ void ShardedAccumulator::merge(std::span<float> global_params,
           }
         }
       },
-      updates.size() * 2);
+      kBlock * updates.size() * 2);
 }
 
 }  // namespace fedbiad::fl

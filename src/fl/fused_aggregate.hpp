@@ -17,9 +17,20 @@
 // chunk leases a cache-aligned panel pair from a free list, so concurrent
 // commits never share an accumulator cache line (no false sharing) and the
 // allocations persist across rounds instead of being rebuilt per commit.
+//
+// Partitioning is block-owner: the parallel loop iterates whole kBlock
+// panels, so every block starts at a kBlock-aligned coordinate regardless
+// of thread count. That buys two things. Determinism: a block is touched by
+// exactly one thread and clients are walked in batch (slot) order within
+// it, so the per-coordinate double-add order — and with it every golden,
+// checkpoint, and conservation ledger — is a function of the batch alone,
+// never of how many workers ran. Speed: kBlock == CompactUpdate::kRankStride,
+// so entering a bitmap block costs a single rank-directory probe with no
+// popcount remainder walk.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -29,6 +40,58 @@
 #include "wire/compact.hpp"
 
 namespace fedbiad::fl {
+
+/// Inner kernels of the fused committer, compiled with wide vector lanes
+/// but -ffp-contract=off (see src/CMakeLists.txt): per coordinate they
+/// execute exactly `acc += w * (double)v` as separate IEEE multiply and
+/// add, so their results are bit-identical to the scalar fused::ref::
+/// versions below and to the dense kernel in fl/aggregate.cpp.
+/// Vectorization batches *across* coordinates only — the operation sequence
+/// at any one coordinate is unchanged.
+namespace fused {
+
+/// Contiguous run: acc[i] += weight * (double)values[i] and
+/// present_weight[i] += weight for i in [0, len).
+void accumulate_run(double* acc, double* present_weight, const float* values,
+                    std::size_t len, double weight);
+
+/// Parameter-payload merge run: acc[i] += weight * ((double)values[i] -
+/// (double)global[i]) and weight_acc[i] += weight for i in [0, len).
+void merge_param_run(double* acc, double* weight_acc, const float* values,
+                     const float* global, std::size_t len, double weight);
+
+/// Sparse gather: for c in [0, count), acc[indices[c] - base] +=
+/// weight * (double)values[c] (and present_weight likewise). `indices` must
+/// be strictly ascending and within [base, base + kBlock).
+void accumulate_sparse(double* acc, double* present_weight,
+                       const std::uint32_t* indices, const float* values,
+                       std::size_t count, std::size_t base, double weight);
+
+/// Sparse parameter-payload merge: delta is values[c] minus the global at
+/// the absolute coordinate indices[c].
+void merge_param_sparse(double* acc, double* weight_acc,
+                        const std::uint32_t* indices, const float* values,
+                        const float* global, std::size_t count,
+                        std::size_t base, double weight);
+
+/// Scalar reference kernels — the loops the vector versions must match
+/// bitwise (tests/test_scale.cpp pins them against each other on ragged
+/// lengths).
+namespace ref {
+void accumulate_run(double* acc, double* present_weight, const float* values,
+                    std::size_t len, double weight);
+void merge_param_run(double* acc, double* weight_acc, const float* values,
+                     const float* global, std::size_t len, double weight);
+void accumulate_sparse(double* acc, double* present_weight,
+                       const std::uint32_t* indices, const float* values,
+                       std::size_t count, std::size_t base, double weight);
+void merge_param_sparse(double* acc, double* weight_acc,
+                        const std::uint32_t* indices, const float* values,
+                        const float* global, std::size_t count,
+                        std::size_t base, double weight);
+}  // namespace ref
+
+}  // namespace fused
 
 /// One pending update as the fused committer sees it: a borrowed compact
 /// view plus the already-resolved aggregation weight. The caller owns the

@@ -1,0 +1,43 @@
+#include "transport/decode_pool.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace fedbiad::transport {
+
+DecodePool::DecodePool(std::size_t workers, std::size_t depth,
+                       const fl::Strategy& strategy,
+                       const nn::ParameterStore& layout)
+    : strategy_(strategy),
+      layout_(layout),
+      pool_(workers),
+      results_(pool_, depth > 0 ? depth : 2 * workers) {
+  FEDBIAD_CHECK(workers > 0, "decode pool needs at least one worker");
+}
+
+bool DecodePool::try_submit(std::unique_ptr<DecodeJob>& job) {
+  if (results_.full()) return false;
+  FEDBIAD_CHECK(job != nullptr, "null decode job");
+  const bool ok = results_.try_submit([this, j = std::move(job)]() mutable {
+    j->status = fl::try_decode_outcome_compact(
+        strategy_, layout_, j->outcome, /*framed=*/true,
+        fl::DecodeContext{j->client,
+                          static_cast<std::size_t>(j->dispatch_index),
+                          j->arrival_clock});
+    return std::move(j);
+  });
+  // Single consumer: full() was false above, so the submit cannot refuse
+  // (a refusal here would have discarded the moved-from job).
+  FEDBIAD_CHECK(ok, "decode queue full after full() check");
+  return true;
+}
+
+std::vector<std::unique_ptr<DecodeJob>> DecodePool::harvest() {
+  std::vector<std::unique_ptr<DecodeJob>> out;
+  (void)results_.drain(
+      [&out](std::unique_ptr<DecodeJob>&& job) { out.push_back(std::move(job)); });
+  return out;
+}
+
+}  // namespace fedbiad::transport

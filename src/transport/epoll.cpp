@@ -267,6 +267,13 @@ void EpollServerTransport::step(double max_wait_seconds) {
     if ((events[i].events & EPOLLIN) != 0) conn_readable(session);
     if ((events[i].events & EPOLLOUT) != 0) conn_writable(session);
   }
+  // Harvest offloaded work (decode-on-arrival results) before deadlines:
+  // frames delivered this slice must finish ahead of timers firing at
+  // later wall times, matching the inline decode-at-delivery ordering.
+  if (tick_) {
+    while (tick_()) {
+    }
+  }
   // Fire every deadline now due — the same schedule/cancel/fire path the
   // virtual clock uses, just driven by wall time.
   sched_.advance_to(std::max(sched_.now(), clock_.now()));

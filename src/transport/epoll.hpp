@@ -44,6 +44,9 @@ class EpollServerTransport final : public ServerTransport {
   void set_handler(ServerTransport::Handler* handler) override {
     handler_ = handler;
   }
+  void set_tick_hook(std::function<bool()> hook) override {
+    tick_ = std::move(hook);
+  }
   [[nodiscard]] bool send(SessionId session, FrameType type,
                           std::span<const std::uint8_t> body) override;
   [[nodiscard]] std::size_t send_space(SessionId session) const override;
@@ -76,6 +79,7 @@ class EpollServerTransport final : public ServerTransport {
 
   TransportLimits limits_;
   ServerTransport::Handler* handler_ = nullptr;
+  std::function<bool()> tick_;
   MonotonicClock clock_;
   fl::EventScheduler sched_;
   int epoll_fd_ = -1;

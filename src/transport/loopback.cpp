@@ -135,12 +135,28 @@ void LoopbackTransport::close(SessionId session, const std::string& reason) {
   }
 }
 
-void LoopbackTransport::step(double /*max_wait_seconds*/) { drain(); }
+void LoopbackTransport::step(double /*max_wait_seconds*/) {
+  drain();
+  run_ticks();
+}
 
 void LoopbackTransport::advance_time(double dt) {
   FEDBIAD_CHECK(dt >= 0.0, "cannot advance time backwards");
+  // Offloaded work for frames that already arrived finishes *before* the
+  // clock moves: a decode in flight belongs to the past, so a dispatch
+  // deadline inside the window must observe its outcome — exactly what the
+  // inline (workers=0) path does by decoding at delivery time.
+  run_ticks();
   sched_.advance_to(sched_.now() + dt);
   drain();
+  run_ticks();
+}
+
+void LoopbackTransport::run_ticks() {
+  if (!tick_) return;
+  // Each round of offloaded work may queue deliveries (acks, dispatches)
+  // whose handlers submit more work; alternate until both sides are idle.
+  while (tick_()) drain();
 }
 
 void LoopbackTransport::set_session_send_capacity(SessionId session,

@@ -69,6 +69,9 @@ class LoopbackTransport final : public ServerTransport {
   void set_handler(ServerTransport::Handler* handler) override {
     handler_ = handler;
   }
+  void set_tick_hook(std::function<bool()> hook) override {
+    tick_ = std::move(hook);
+  }
   [[nodiscard]] bool send(SessionId session, FrameType type,
                           std::span<const std::uint8_t> body) override;
   [[nodiscard]] std::size_t send_space(SessionId session) const override;
@@ -113,10 +116,12 @@ class LoopbackTransport final : public ServerTransport {
   void client_detached(SessionId session);
   void deliver(Delivery d);
   void drain();
+  void run_ticks();  ///< tick hook until idle, draining what each tick queued
   void arm_read_deadline(SessionId session);
 
   TransportLimits limits_;
   ServerTransport::Handler* handler_ = nullptr;
+  std::function<bool()> tick_;
   fl::EventScheduler sched_;
   std::deque<Delivery> queue_;
   std::unordered_map<SessionId, std::unique_ptr<Session>> sessions_;

@@ -66,6 +66,7 @@ ServerRuntime::ServerRuntime(TransportServerConfig cfg,
       break;
   }
   transport_.set_handler(this);
+  transport_.set_tick_hook([this] { return drain_decodes(); });
 }
 
 std::string ServerRuntime::engine_name() const {
@@ -82,6 +83,11 @@ void ServerRuntime::start() {
   }
   global_.resize(model_->store().size());
   tensor::copy(model_->store().params(), global_);
+  if (cfg_.decode_workers > 0) {
+    decode_pool_ = std::make_unique<DecodePool>(
+        cfg_.decode_workers, cfg_.decode_queue_depth, *strategy_,
+        model_->store());
+  }
 
   result_.sim.strategy = strategy_->name();
   result_.sim.engine = engine_name();
@@ -380,6 +386,10 @@ void ServerRuntime::broadcast_fin() {
 
 void ServerRuntime::send_control(SessionId session, FrameType type,
                                  std::vector<std::uint8_t> body) {
+  // A session can die between an upload's arrival and its decode
+  // finishing; the state effects still apply (the frame *was* delivered),
+  // but there is no peer left to tell — the client re-learns on reconnect.
+  if (sessions_.find(session) == sessions_.end()) return;
   auto parked = parked_.find(session);
   if (parked != parked_.end() && !parked->second.empty()) {
     // Keep ordering: earlier control frames are still waiting.
@@ -537,25 +547,17 @@ void ServerRuntime::handle_upload(SessionId session, const Frame& frame) {
     return;
   }
   const std::size_t client = sessions_[session].client;
-  const std::uint64_t framed = msg.payload.size();
 
-  auto it = inflight_.find(client);
-  if (it == inflight_.end() ||
-      it->second.dispatch_index != msg.dispatch_index) {
-    // The PR 7 duplicate-drop path: a re-sent upload whose dispatch
-    // already resolved (committed, abandoned, or rejected) is charged to
-    // the delivery ledger and Ack'd so the client stops retrying — it is
-    // never aggregated, so commits stay at-most-once.
-    ++rejected_deliveries_total_;
-    rejected_bytes_total_ += framed;
-    round_rejected_bytes_ += framed;
-    send_control(session, FrameType::kUploadAck,
-                 encode(UploadAckMsg{msg.dispatch_index}));
-    return;
-  }
-  InFlight& inf = it->second;
-
-  fl::ClientOutcome out;
+  // Submit half: capture everything the completion needs — including the
+  // arrival clock, so timestamps don't depend on when a worker runs — and
+  // hand the sealed payload to the decode pool (or decode inline).
+  auto job = std::make_unique<DecodeJob>();
+  job->session = session;
+  job->client = client;
+  job->dispatch_index = msg.dispatch_index;
+  job->framed_bytes = msg.payload.size();
+  job->arrival_clock = transport_.now();
+  fl::ClientOutcome& out = job->outcome;
   out.client_id = client;
   out.samples = static_cast<std::size_t>(msg.samples);
   out.is_update = msg.is_update != 0;
@@ -567,25 +569,69 @@ void ServerRuntime::handle_upload(SessionId session, const Frame& frame) {
   out.payload.aux = aux;
   out.payload.bytes = std::move(msg.payload);
 
-  const fl::DecodeStatus status = fl::try_decode_outcome_compact(
-      *strategy_, model_->store(), out, /*framed=*/true,
-      fl::DecodeContext{client, msg.dispatch_index, transport_.now()});
-  if (!status.ok) {
+  if (decode_pool_ == nullptr) {
+    job->status = fl::try_decode_outcome_compact(
+        *strategy_, model_->store(), out, /*framed=*/true,
+        fl::DecodeContext{client, msg.dispatch_index, transport_.now()});
+    finish_upload(*job);
+    return;
+  }
+
+  // Decode-queue backpressure, the send-ring discipline mirrored: a full
+  // queue parks the arrival (behind any earlier parked upload, so finish
+  // order stays arrival order), and an overflowing park buffer sheds the
+  // submitting session before memory grows. The shed upload's dispatch
+  // stays in flight — the deadline or a retry on reconnect resolves it,
+  // so conservation holds.
+  if (parked_uploads_.empty() && decode_pool_->try_submit(job)) return;
+  ++result_.decode_parked;
+  parked_uploads_.push_back(std::move(job));
+  if (parked_uploads_.size() > cfg_.max_parked_uploads) {
+    std::unique_ptr<DecodeJob> shed = std::move(parked_uploads_.back());
+    parked_uploads_.pop_back();
+    ++result_.decode_shed;
     ++rejected_deliveries_total_;
-    rejected_bytes_total_ += framed;
-    round_rejected_bytes_ += framed;
+    rejected_bytes_total_ += shed->framed_bytes;
+    round_rejected_bytes_ += shed->framed_bytes;
+    transport_.close(shed->session, "decode backpressure overflow");
+  }
+}
+
+void ServerRuntime::finish_upload(DecodeJob& job) {
+  auto it = inflight_.find(job.client);
+  if (it == inflight_.end() ||
+      it->second.dispatch_index != job.dispatch_index) {
+    // The PR 7 duplicate-drop path: a re-sent upload whose dispatch
+    // already resolved (committed, abandoned, or rejected) is charged to
+    // the delivery ledger and Ack'd so the client stops retrying — it is
+    // never aggregated, so commits stay at-most-once. With workers this
+    // check must run at finish time: an earlier arrival still in the
+    // decode queue may resolve the same dispatch first.
+    ++rejected_deliveries_total_;
+    rejected_bytes_total_ += job.framed_bytes;
+    round_rejected_bytes_ += job.framed_bytes;
+    send_control(job.session, FrameType::kUploadAck,
+                 encode(UploadAckMsg{job.dispatch_index}));
+    return;
+  }
+  InFlight& inf = it->second;
+
+  if (!job.status.ok) {
+    ++rejected_deliveries_total_;
+    rejected_bytes_total_ += job.framed_bytes;
+    round_rejected_bytes_ += job.framed_bytes;
     if (inf.attempts < cfg_.max_upload_attempts) {
       ++inf.attempts;
-      send_control(session, FrameType::kReject,
-                   encode(RejectMsg{msg.dispatch_index, 1, status.error}));
+      send_control(job.session, FrameType::kReject,
+                   encode(RejectMsg{job.dispatch_index, 1, job.status.error}));
       return;
     }
     // Retry budget drained: terminal rejection resolves the dispatch.
     inflight_.erase(it);
     ++rejected_total_;
     ++round_rejected_;
-    send_control(session, FrameType::kReject,
-                 encode(RejectMsg{msg.dispatch_index, 0, status.error}));
+    send_control(job.session, FrameType::kReject,
+                 encode(RejectMsg{job.dispatch_index, 0, job.status.error}));
     resolve_slot_released();
     return;
   }
@@ -593,12 +639,12 @@ void ServerRuntime::handle_upload(SessionId session, const Frame& frame) {
   fl::PendingUpdate up;
   up.slot = inf.slot;
   up.dispatch_version = inf.version;
-  up.arrival_clock = transport_.now();
-  out.payload.bytes = {};  // decoded; only the compact view is kept
-  up.outcome = std::move(out);
+  up.arrival_clock = job.arrival_clock;
+  job.outcome.payload.bytes = {};  // decoded; only the compact view is kept
+  up.outcome = std::move(job.outcome);
   inflight_.erase(it);
-  send_control(session, FrameType::kUploadAck,
-               encode(UploadAckMsg{msg.dispatch_index}));
+  send_control(job.session, FrameType::kUploadAck,
+               encode(UploadAckMsg{job.dispatch_index}));
 
   auto batch = aggregator_->offer(std::move(up));
   if (cfg_.mode == fl::AggregationMode::kBarrier) {
@@ -610,7 +656,33 @@ void ServerRuntime::handle_upload(SessionId session, const Frame& frame) {
   if (version_ < cfg_.base.rounds) top_up();
 }
 
+bool ServerRuntime::drain_decodes() {
+  if (decode_pool_ == nullptr || draining_decodes_) return false;
+  draining_decodes_ = true;
+  bool did_work = false;
+  for (;;) {
+    // Harvest *everything* before finishing *anything*: workers are idle
+    // while finish_upload commits, so decode reads of the strategy and
+    // parameter layout never overlap the transport thread's mutations.
+    std::vector<std::unique_ptr<DecodeJob>> done = decode_pool_->harvest();
+    for (const auto& job : done) finish_upload(*job);
+    bool resubmitted = false;
+    while (!parked_uploads_.empty() &&
+           decode_pool_->try_submit(parked_uploads_.front())) {
+      parked_uploads_.pop_front();
+      resubmitted = true;
+    }
+    if (done.empty() && !resubmitted) break;
+    did_work = true;
+  }
+  draining_decodes_ = false;
+  return did_work;
+}
+
 TransportServerResult ServerRuntime::finish() {
+  // Late arrivals may still be on the decode workers; their dispatches are
+  // in flight until finished, so drain before the ledgers are read.
+  (void)drain_decodes();
   broadcast_fin();
   // Give farewell traffic a chance to flush (acks, Fin frames). Parked
   // frames for peers that never drain are abandoned with their sessions.

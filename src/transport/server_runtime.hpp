@@ -32,6 +32,14 @@
 //                          retries on on_drain; a session whose control
 //                          queue overflows is closed — load is shed before
 //                          memory grows.
+//   decode workers         with decode_workers > 0, sealed uploads are
+//                          verified and decoded on a DecodePool off the
+//                          transport thread and finished — in arrival
+//                          order — at the transport's scheduler tick, so
+//                          trajectories are bit-identical to the inline
+//                          path at any worker count. A full decode queue
+//                          parks arrivals exactly like a full send ring;
+//                          overflow sheds the submitting session.
 #pragma once
 
 #include <cstdint>
@@ -52,6 +60,7 @@
 #include "nn/model.hpp"
 #include "tensor/rng.hpp"
 #include "transport/clock.hpp"
+#include "transport/decode_pool.hpp"
 #include "transport/protocol.hpp"
 #include "transport/transport.hpp"
 
@@ -73,6 +82,15 @@ struct TransportServerConfig {
   std::size_t max_upload_attempts = 3;
   /// Parked control frames per session before the session is shed.
   std::size_t max_parked_control = 64;
+  /// Decode-on-arrival worker threads. 0 decodes inline on the transport
+  /// thread; any positive count produces bit-identical trajectories.
+  std::size_t decode_workers = 0;
+  /// Uploads in flight on the decode workers before arrivals park
+  /// (0 = 2 × decode_workers).
+  std::size_t decode_queue_depth = 0;
+  /// Parked uploads (decode queue full) before the submitting session is
+  /// shed — the decode-side twin of max_parked_control.
+  std::size_t max_parked_uploads = 64;
   std::string scenario_name = "transport";
 };
 
@@ -82,6 +100,8 @@ struct TransportServerResult {
   std::size_t sessions_opened = 0;   ///< successful handshakes
   std::size_t sessions_resumed = 0;  ///< handshakes with a matching token
   std::size_t connections_evicted = 0;  ///< read/write deadline closures
+  std::size_t decode_parked = 0;  ///< uploads parked on a full decode queue
+  std::size_t decode_shed = 0;    ///< sessions shed on parked-upload overflow
 
   /// The conservation law the whole ledger hangs on.
   [[nodiscard]] bool conserved() const {
@@ -149,6 +169,13 @@ class ServerRuntime final : public ServerTransport::Handler {
 
   void handle_hello(SessionId session, const Frame& frame);
   void handle_upload(SessionId session, const Frame& frame);
+  /// Completion half of an upload: dedup check, reject/retry accounting,
+  /// ack, aggregator offer, commit. Runs at delivery time inline
+  /// (decode_workers == 0) or at the scheduler tick in arrival order.
+  void finish_upload(DecodeJob& job);
+  /// Tick hook body: harvests decoded jobs, finishes them in arrival
+  /// order, and re-submits parked uploads. Returns true when it did work.
+  bool drain_decodes();
   void dispatch(std::size_t client, std::size_t slot, std::uint64_t rng_stream);
   void dispatch_wave();
   void top_up();
@@ -183,6 +210,12 @@ class ServerRuntime final : public ServerTransport::Handler {
   std::vector<float> global_;
   std::unique_ptr<fl::AsyncAggregator> aggregator_;
   fl::ShardedAccumulator sharded_;
+  std::unique_ptr<DecodePool> decode_pool_;  ///< null when decoding inline
+  /// Arrivals refused by a full decode queue, in arrival order. Once
+  /// anything is parked, every later upload parks behind it so finish
+  /// order stays arrival order.
+  std::deque<std::unique_ptr<DecodeJob>> parked_uploads_;
+  bool draining_decodes_ = false;  ///< reentrancy guard for drain_decodes
 
   std::size_t version_ = 0;
   std::size_t dispatched_ = 0;

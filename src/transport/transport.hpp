@@ -19,10 +19,17 @@
 // from inside step() (or, for the loopback, from inside calls that
 // synchronously deliver, like connect()). Implementations must tolerate
 // handlers calling back into the transport (send/close) reentrantly.
+// The one concession to worker threads is the tick hook (set_tick_hook):
+// a handler that offloads work — the server runtime's decode-on-arrival
+// pool — installs a callback the transport invokes *on the transport
+// thread* at its scheduler tick, after frame delivery and before
+// later-time deadlines fire. The hook is where offloaded results rejoin
+// the single-threaded world; the transport itself never grows threads.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 
@@ -77,6 +84,14 @@ class ServerTransport {
   /// Must be set before any traffic; the handler must outlive the
   /// transport.
   virtual void set_handler(Handler* handler) = 0;
+
+  /// Installs the scheduler-tick hook (empty to clear). The transport
+  /// calls it on its own thread inside step() — after delivering frames,
+  /// before firing deadlines scheduled at later times — and keeps calling
+  /// while it returns true ("did work": a drain may unpark further frames
+  /// or submissions that need another pass). The handler uses this to
+  /// harvest decode-on-arrival results; see server_runtime.
+  virtual void set_tick_hook(std::function<bool()> hook) = 0;
 
   /// Queues one frame for the peer. Returns false when the send ring
   /// cannot hold it right now — nothing is queued, and on_drain() fires

@@ -6,11 +6,12 @@
 // the section decoder to notice, and the checkpoint file footer that lets
 // resume() tell a torn snapshot from a good one. CRC32C detects all 1- and
 // 2-bit errors and all burst errors up to 32 bits — exactly the corruption
-// classes the fault injector produces.
-//
-// Software slice-by-1 table implementation: the inputs are small (payloads
-// top out in the megabytes, checksummed once per upload), so portability
-// beats the SSE4.2 instruction here.
+// classes the fault injector produces. The transport layer additionally
+// seals every frame, so with decode-on-arrival workers the checksum sits on
+// the ingest hot path: crc32c() dispatches to the SSE4.2 hardware CRC32
+// instruction when this translation unit was built with it, falling back to
+// a slice-by-8 table walk (8 bytes per iteration) everywhere else. Both
+// paths produce identical values — the dispatch is a pure speed choice.
 #pragma once
 
 #include <cstddef>
@@ -22,8 +23,18 @@ namespace fedbiad::wire {
 /// CRC32C of `data`, seeded with `crc` (pass the previous return value to
 /// checksum a buffer in chunks; 0 starts a fresh run). The standard
 /// reflected algorithm: init/xorout 0xFFFFFFFF are applied internally, so
-/// crc32c("123456789") == 0xE3069283.
+/// crc32c("123456789") == 0xE3069283. Dispatches to the hardware path when
+/// available, the software path otherwise.
 [[nodiscard]] std::uint32_t crc32c(std::span<const std::uint8_t> data,
                                    std::uint32_t crc = 0) noexcept;
+
+/// Portable slice-by-8 software implementation. Same values as crc32c();
+/// exposed so tests and benches can pin the two paths against each other.
+[[nodiscard]] std::uint32_t crc32c_sw(std::span<const std::uint8_t> data,
+                                      std::uint32_t crc = 0) noexcept;
+
+/// True when crc32c() routes through the SSE4.2 CRC32 instruction (i.e.
+/// this TU was compiled with -msse4.2 and not FEDBIAD_PORTABLE).
+[[nodiscard]] bool crc32c_hw_available() noexcept;
 
 }  // namespace fedbiad::wire

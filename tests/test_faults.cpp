@@ -54,6 +54,44 @@ TEST(Crc32c, ChainedUpdatesMatchOneShot) {
   }
 }
 
+TEST(Crc32c, SoftwarePathMatchesKnownAnswer) {
+  // The slice-by-8 table walk is the portable fallback behind the
+  // dispatching entry point; pin it independently so a broken table is
+  // caught even on hosts where the SSE4.2 path handles every call.
+  EXPECT_EQ(wire::crc32c_sw(bytes_of("123456789")), 0xE3069283u);
+  EXPECT_EQ(wire::crc32c_sw(std::vector<std::uint8_t>{}), 0u);
+}
+
+TEST(Crc32c, HardwareAndSoftwareAgreeAcrossLengthsOffsetsAndChains) {
+  tensor::Rng rng(0xC5C);
+  std::vector<std::uint8_t> data(1031);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+  const std::span<const std::uint8_t> all(data);
+  // Lengths straddling the alignment prologue, the 8-byte main loops of
+  // both paths, and their byte tails.
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{8},
+        std::size_t{9}, std::size_t{15}, std::size_t{16}, std::size_t{63},
+        std::size_t{64}, std::size_t{65}, std::size_t{511}, std::size_t{1024},
+        std::size_t{1031}}) {
+    EXPECT_EQ(wire::crc32c(all.first(len)), wire::crc32c_sw(all.first(len)))
+        << "length " << len;
+  }
+  // Misaligned buffer starts exercise the hardware prologue.
+  for (std::size_t off = 0; off < 9; ++off) {
+    EXPECT_EQ(wire::crc32c(all.subspan(off)), wire::crc32c_sw(all.subspan(off)))
+        << "offset " << off;
+  }
+  // Chains may switch implementations mid-stream (a checkpoint written on
+  // SSE4.2 hardware, verified on a portable build): a software head must
+  // continue under the dispatching path and land on the same digest.
+  const std::uint32_t whole = wire::crc32c_sw(all);
+  for (std::size_t split = 0; split <= data.size(); split += 97) {
+    const std::uint32_t head = wire::crc32c_sw(all.first(split));
+    EXPECT_EQ(wire::crc32c(all.subspan(split), head), whole) << split;
+  }
+}
+
 wire::Payload sealed_payload(std::size_t body_bytes, std::uint64_t seed) {
   wire::Payload p;
   tensor::Rng rng(seed);

@@ -1,12 +1,16 @@
-// Unit tests for the thread pool and parallel_for.
+// Unit tests for the thread pool, parallel_for, and the OrderedResults
+// ticketed completion queue behind the transport decode pipeline.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <future>
+#include <memory>
 #include <numeric>
 #include <thread>
 #include <vector>
 
+#include "parallel/ordered_results.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace fedbiad::parallel {
@@ -151,6 +155,87 @@ TEST(ParallelForRange, SmallAndNestedRunOnCaller) {
       },
       1 << 20);
   EXPECT_EQ(nested_calls.load(), ThreadPool::global().size() * 2);
+}
+
+TEST(OrderedResults, DrainDeliversInSubmissionOrderDespiteCompletionOrder) {
+  // Earlier submissions sleep longer, so completion order is the reverse of
+  // submission order — drain must still deliver 0..7 ascending.
+  ThreadPool pool(4);
+  OrderedResults<int> results(pool, 8);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(results.try_submit([i] {
+      std::this_thread::sleep_for(std::chrono::milliseconds((8 - i) * 3));
+      return i;
+    }));
+  }
+  EXPECT_TRUE(results.full());
+  std::vector<int> drained;
+  EXPECT_EQ(results.drain([&](int&& v) { drained.push_back(v); }), 8u);
+  EXPECT_EQ(drained, std::vector<int>({0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(results.pending(), 0u);
+  EXPECT_FALSE(results.full());
+}
+
+TEST(OrderedResults, TrySubmitRefusesAtDepthWithoutConsuming) {
+  ThreadPool pool(2);
+  OrderedResults<int> results(pool, 2);
+  ASSERT_TRUE(results.try_submit([] { return 1; }));
+  ASSERT_TRUE(results.try_submit([] { return 2; }));
+  // The refused callable must not run — parking hands the same work back.
+  std::atomic<bool> ran{false};
+  EXPECT_FALSE(results.try_submit([&] {
+    ran.store(true);
+    return 3;
+  }));
+  EXPECT_EQ(results.pending(), 2u);
+  std::vector<int> drained;
+  results.drain([&](int&& v) { drained.push_back(v); });
+  EXPECT_EQ(drained, std::vector<int>({1, 2}));
+  EXPECT_FALSE(ran.load());
+  // After the drain the queue has room again.
+  ASSERT_TRUE(results.try_submit([] { return 4; }));
+  results.drain([&](int&& v) { drained.push_back(v); });
+  EXPECT_EQ(drained, std::vector<int>({1, 2, 4}));
+}
+
+TEST(OrderedResults, DrainReadyStopsAtFirstUnfinishedJob) {
+  ThreadPool pool(2);
+  OrderedResults<int> results(pool, 4);
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  ASSERT_TRUE(results.try_submit([] { return 1; }));
+  ASSERT_TRUE(results.try_submit([open] {
+    open.wait();
+    return 2;
+  }));
+  ASSERT_TRUE(results.try_submit([] { return 3; }));
+  // Job 3 may finish long before job 2, but drain_ready must never deliver
+  // it early: it stops at the gated head.
+  std::vector<int> got;
+  while (got.empty()) {
+    results.drain_ready([&](int&& v) { got.push_back(v); });
+  }
+  EXPECT_EQ(got, std::vector<int>({1}));
+  EXPECT_EQ(results.pending(), 2u);
+  gate.set_value();
+  results.drain([&](int&& v) { got.push_back(v); });
+  EXPECT_EQ(got, std::vector<int>({1, 2, 3}));
+}
+
+TEST(OrderedResults, MoveOnlyResultsAndExceptionsFlowThrough) {
+  ThreadPool pool(2);
+  OrderedResults<std::unique_ptr<int>> results(pool, 2);
+  ASSERT_TRUE(results.try_submit([] { return std::make_unique<int>(7); }));
+  std::vector<int> vals;
+  results.drain([&](std::unique_ptr<int>&& p) { vals.push_back(*p); });
+  EXPECT_EQ(vals, std::vector<int>({7}));
+  // A throwing job surfaces at drain time, on the consumer thread.
+  ASSERT_TRUE(results.try_submit([]() -> std::unique_ptr<int> {
+    throw std::runtime_error("decode failed");
+  }));
+  EXPECT_THROW(results.drain([](std::unique_ptr<int>&&) {}),
+               std::runtime_error);
+  EXPECT_EQ(results.pending(), 0u);
 }
 
 TEST(ThreadPool, NestedForEachFromWorkerRunsSerially) {

@@ -452,6 +452,99 @@ TEST(FusedAggregate, MergeMatchesCoordinateOuterReference) {
   }
 }
 
+// --- vector kernels == scalar reference, bitwise ---------------------------
+
+void expect_doubles_bit_identical(std::span<const double> a,
+                                  std::span<const double> b,
+                                  const char* what, std::size_t len) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(a[i]),
+              std::bit_cast<std::uint64_t>(b[i]))
+        << what << " len " << len << " coord " << i;
+  }
+}
+
+// The vectorized fused kernels against their scalar fused::ref:: twins on
+// every ragged length around the 4-lane boundaries, over hostile floats
+// (NaN, ±inf, -0): each per-coordinate IEEE multiply and add must round
+// identically, or the -ffp-contract=off contract is broken somewhere.
+TEST(FusedKernels, VectorMatchesScalarRefBitwiseOnRaggedLengths) {
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{3},
+        std::size_t{4}, std::size_t{5}, std::size_t{7}, std::size_t{8},
+        std::size_t{9}, std::size_t{15}, std::size_t{16}, std::size_t{17},
+        std::size_t{63}, std::size_t{64}, std::size_t{65}, std::size_t{127},
+        std::size_t{1000}}) {
+    const auto values = hostile_values(len, 501 + len);
+    const auto global = hostile_values(len, 601 + len);
+    const double weight = 3.25;
+    std::vector<double> acc_v(len, 0.125), acc_r(len, 0.125);
+    std::vector<double> w_v(len, 0.5), w_r(len, 0.5);
+    fl::fused::accumulate_run(acc_v.data(), w_v.data(), values.data(), len,
+                              weight);
+    fl::fused::ref::accumulate_run(acc_r.data(), w_r.data(), values.data(),
+                                   len, weight);
+    expect_doubles_bit_identical(acc_v, acc_r, "accumulate_run acc", len);
+    expect_doubles_bit_identical(w_v, w_r, "accumulate_run weight", len);
+
+    std::vector<double> macc_v(len, -0.25), macc_r(len, -0.25);
+    std::vector<double> mw_v(len, 1.5), mw_r(len, 1.5);
+    fl::fused::merge_param_run(macc_v.data(), mw_v.data(), values.data(),
+                               global.data(), len, weight);
+    fl::fused::ref::merge_param_run(macc_r.data(), mw_r.data(), values.data(),
+                                    global.data(), len, weight);
+    expect_doubles_bit_identical(macc_v, macc_r, "merge_param_run acc", len);
+    expect_doubles_bit_identical(mw_v, mw_r, "merge_param_run weight", len);
+  }
+}
+
+TEST(FusedKernels, SparseVectorMatchesScalarRefBitwise) {
+  constexpr std::size_t kBlock = fl::ShardedAccumulator::kBlock;
+  const std::size_t base = kBlock;  // a non-zero block
+  for (const std::size_t count :
+       {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{4},
+        std::size_t{5}, std::size_t{13}, std::size_t{64}, std::size_t{257}}) {
+    // Strictly ascending indices spread over the block.
+    std::vector<std::uint32_t> indices(count);
+    for (std::size_t c = 0; c < count; ++c) {
+      indices[c] = static_cast<std::uint32_t>(base + c * (kBlock / 300 + 1));
+    }
+    const auto values = hostile_values(count, 701 + count);
+    std::vector<float> global(kBlock);
+    {
+      const auto g = hostile_values(kBlock, 801 + count);
+      global.assign(g.begin(), g.end());
+    }
+    const double weight = 0.375;
+    std::vector<double> acc_v(kBlock, 0.0625), acc_r(kBlock, 0.0625);
+    std::vector<double> w_v(kBlock, 2.0), w_r(kBlock, 2.0);
+    fl::fused::accumulate_sparse(acc_v.data(), w_v.data(), indices.data(),
+                                 values.data(), count, base, weight);
+    fl::fused::ref::accumulate_sparse(acc_r.data(), w_r.data(), indices.data(),
+                                      values.data(), count, base, weight);
+    expect_doubles_bit_identical(acc_v, acc_r, "accumulate_sparse acc", count);
+    expect_doubles_bit_identical(w_v, w_r, "accumulate_sparse weight", count);
+
+    std::vector<double> macc_v(kBlock, -1.0), macc_r(kBlock, -1.0);
+    std::vector<double> mw_v(kBlock, 0.75), mw_r(kBlock, 0.75);
+    // merge_param_sparse reads the global at absolute coordinates.
+    std::vector<float> wide_global(base + kBlock);
+    std::copy(global.begin(), global.end(), wide_global.begin() + base);
+    fl::fused::merge_param_sparse(macc_v.data(), mw_v.data(), indices.data(),
+                                  values.data(), wide_global.data(), count,
+                                  base, weight);
+    fl::fused::ref::merge_param_sparse(macc_r.data(), mw_r.data(),
+                                       indices.data(), values.data(),
+                                       wide_global.data(), count, base,
+                                       weight);
+    expect_doubles_bit_identical(macc_v, macc_r, "merge_param_sparse acc",
+                                 count);
+    expect_doubles_bit_identical(mw_v, mw_r, "merge_param_sparse weight",
+                                 count);
+  }
+}
+
 // --- ClientRegistry: lazy profiles and the state pool ----------------------
 
 netsim::HeterogeneityConfig stressed_fleet() {
@@ -763,6 +856,38 @@ TEST(EngineScale, ConservationFuzzThirtySeedsAtHundredThousand) {
     EXPECT_EQ(r.materialized_states, r.peak_in_flight_states)
         << "seed " << seed;
     EXPECT_GT(r.total_dispatched, 0u) << "seed " << seed;
+  }
+}
+
+// 30 seeds of churn + corruption + duplicates + deadline pressure, each run
+// at 1, 4, and 8 worker threads: the block-owner partitioning in the fused
+// committer must keep every round record and every final parameter bit
+// identical — worker count may only change which thread adds, never the
+// per-coordinate add order.
+TEST(EngineScale, FuzzThirtySeedsBitIdenticalAcrossThreadCounts) {
+  constexpr std::size_t kPopulation = 20'000;
+  const ScaleFixture base_fx = make_scale_fixture(
+      kPopulation, /*samples=*/600, /*selection_fraction=*/0.01,
+      /*threads=*/1, /*rounds=*/2, /*seed=*/0);
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    auto run = [&](std::size_t threads) {
+      ScaleFixture fx = base_fx;
+      fx.sim.seed = seed;
+      fx.sim.threads = threads;
+      fl::AsyncSimulationConfig cfg;
+      cfg.mode = fl::AggregationMode::kBufferedK;
+      cfg.buffer_size = 50;
+      const scenario::Config sc = churn_faults_scenario(seed);
+      cfg.hooks = scenario::make_engine_hooks(sc, kPopulation);
+      cfg.scenario_name = sc.name;
+      return run_at_scale(fx, cfg);
+    };
+    const auto one = run(1);
+    const auto four = run(4);
+    const auto eight = run(8);
+    expect_conserved(one);
+    expect_identical(one, four);
+    expect_identical(one, eight);
   }
 }
 

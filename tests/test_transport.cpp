@@ -689,6 +689,133 @@ TEST(LoopbackChaos, CrashAndResumeReproducesTrajectory) {
   std::filesystem::remove_all(dir);
 }
 
+// --- decode-on-arrival worker pool ----------------------------------------
+
+TEST(DecodeWorkers, TrajectoryBitIdenticalAcrossWorkerCounts) {
+  // The tentpole contract: moving verify+decode onto 1, 2, or 4 pool
+  // workers must not move a single byte of the trajectory relative to the
+  // single-threaded engine, in either aggregation style.
+  for (const char* method : {"fedavg", "fedbiad"}) {
+    const auto w = tools::make_demo_workload(method, true);
+    const std::string want =
+        tools::trajectory_text(tools::reference_run(w, method));
+    for (const std::size_t workers :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      transport::TransportServerConfig scfg;
+      scfg.decode_workers = workers;
+      LoopbackRun run(method, scfg);
+      const auto result = run.drive();
+      expect_conserved(result);
+      EXPECT_EQ(tools::trajectory_text(result.sim), want)
+          << method << " with " << workers << " decode workers";
+      for (auto& c : run.clients) EXPECT_TRUE(c->finished());
+    }
+  }
+}
+
+TEST(DecodeWorkers, FullQueueParksThenDrainsBitIdentically) {
+  // One worker and a depth-1 queue: within a single loopback drain several
+  // uploads land back to back, so all but the first must park — and the
+  // scheduler tick must resubmit them in arrival order. The trajectory
+  // still may not drift from the inline reference.
+  const auto w = tools::make_demo_workload("fedavg", true);
+  const std::string want =
+      tools::trajectory_text(tools::reference_run(w, "fedavg"));
+  transport::TransportServerConfig scfg;
+  scfg.decode_workers = 1;
+  scfg.decode_queue_depth = 1;
+  LoopbackRun run("fedavg", scfg);
+  const auto result = run.drive();
+  expect_conserved(result);
+  EXPECT_EQ(tools::trajectory_text(result.sim), want);
+  EXPECT_GT(result.decode_parked, 0u) << "depth-1 queue never filled";
+  EXPECT_EQ(result.decode_shed, 0u);
+}
+
+TEST(DecodeWorkers, ParkedOverflowShedsSessionsAndStillConserves) {
+  // max_parked_uploads = 0 turns every park into a shed: the submitting
+  // session is closed with a rejected-delivery charge and the client must
+  // reconnect and resend from its cache. The run still completes every
+  // round and the conservation ledger still balances exactly.
+  transport::TransportServerConfig scfg;
+  scfg.decode_workers = 1;
+  scfg.decode_queue_depth = 1;
+  scfg.max_parked_uploads = 0;
+  LoopbackRun run("fedavg", scfg);
+  const auto result = run.drive();
+  expect_conserved(result);
+  EXPECT_GT(result.decode_shed, 0u);
+  EXPECT_GT(result.sim.total_rejected_deliveries, 0u);
+  EXPECT_GT(result.sim.total_rejected_bytes, 0u);
+  EXPECT_EQ(result.sim.rounds.size(), run.w.sim.rounds);
+  for (auto& c : run.clients) EXPECT_TRUE(c->finished());
+}
+
+TEST(DecodeWorkers, CorruptUploadsChargeAndRetryFromTheWorkerPath) {
+  // The worker path must reproduce the inline rejection machinery exactly:
+  // a corrupt payload detected on a pool worker still burns a delivery
+  // attempt, still charges the rejected ledgers, and still Rejects with
+  // retry until max_upload_attempts terminally rejects the dispatch.
+  transport::TransportServerConfig scfg;
+  scfg.max_upload_attempts = 2;
+  scfg.decode_workers = 2;
+  LoopbackRun run("fedavg", scfg, SIZE_MAX,
+                  [](transport::TransportClientConfig& cfg, std::size_t c) {
+                    if (c == 1) cfg.corrupt_probability = 1.0;
+                  });
+  const auto result = run.drive();
+  expect_conserved(result);
+  EXPECT_GT(result.sim.total_rejected, 0u);
+  EXPECT_GE(result.sim.total_rejected_deliveries,
+            result.sim.total_rejected * 2);
+  EXPECT_GT(result.sim.total_rejected_bytes, 0u);
+  EXPECT_EQ(result.sim.total_committed + result.sim.total_rejected,
+            result.sim.total_dispatched);
+}
+
+TEST(DecodeWorkers, ResendAfterDisconnectDedupsAtFinishTime) {
+  // Worker-vs-transport interleaving: client 2 drops right after its first
+  // upload, reconnects, and resends from its cache — so the duplicate can
+  // already be sitting decoded in the queue when the original finishes.
+  // The dedup check runs at finish time in arrival order, so the duplicate
+  // is charged and Ack'd, never aggregated, and the trajectory stays
+  // byte-identical to the undisturbed reference.
+  const auto w = tools::make_demo_workload("fedbiad", true);
+  const std::string want =
+      tools::trajectory_text(tools::reference_run(w, "fedbiad"));
+  transport::TransportServerConfig scfg;
+  scfg.decode_workers = 2;
+  LoopbackRun run("fedbiad", scfg, SIZE_MAX,
+                  [](transport::TransportClientConfig& cfg, std::size_t c) {
+                    if (c == 2) cfg.drop_connection_after_uploads = 1;
+                  });
+  const auto result = run.drive();
+  expect_conserved(result);
+  EXPECT_EQ(tools::trajectory_text(result.sim), want);
+  EXPECT_GE(result.sessions_resumed, 1u);
+}
+
+TEST(DecodeWorkers, DeadlineAbandonsMatchInlineUnderWorkers) {
+  // Deadline coupling: decodes in flight belong to the past, so the tick
+  // hook must finish them before a later virtual-time deadline can abandon
+  // their dispatches. Same dead client, same deadline — the worker run
+  // must land on the identical trajectory the inline run produces.
+  transport::TransportServerConfig scfg;
+  scfg.dispatch_deadline_seconds = 5.0;
+  LoopbackRun inline_run("fedavg", scfg, /*skip_client=*/3);
+  const auto inline_result = inline_run.drive(/*advance_dt=*/1.0);
+  expect_conserved(inline_result);
+  ASSERT_GT(inline_result.sim.total_abandoned, 0u);
+
+  scfg.decode_workers = 2;
+  LoopbackRun worker_run("fedavg", scfg, /*skip_client=*/3);
+  const auto result = worker_run.drive(/*advance_dt=*/1.0);
+  expect_conserved(result);
+  EXPECT_EQ(tools::trajectory_text(result.sim),
+            tools::trajectory_text(inline_result.sim));
+  EXPECT_EQ(result.sim.total_abandoned, inline_result.sim.total_abandoned);
+}
+
 // --- epoll TCP backend ----------------------------------------------------
 
 TEST(Tcp, EndToEndMatchesEngineAcrossThreads) {
